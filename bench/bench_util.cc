@@ -1,0 +1,160 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "counting/counter_factory.h"
+#include "data/database_stats.h"
+#include "mining/miner.h"
+#include "util/table_printer.h"
+
+namespace pincer {
+namespace bench {
+
+BenchConfig ParseBenchArgs(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) {
+      config.scale = std::strtoul(arg.c_str() + 8, nullptr, 10);
+      if (config.scale == 0) config.scale = 1;
+      config.scale_explicit = true;
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      const std::string name = arg.substr(10);
+      bool found = false;
+      for (CounterBackend backend : AllCounterBackends()) {
+        if (name == CounterBackendName(backend)) {
+          config.backend = backend;
+          found = true;
+        }
+      }
+      if (!found) {
+        std::fprintf(stderr, "unknown backend '%s'\n", name.c_str());
+        std::exit(2);
+      }
+    } else if (arg == "--skip-apriori") {
+      config.skip_apriori = true;
+    } else if (arg == "--full") {
+      config.scale = 1;
+      config.scale_explicit = true;
+    } else if (arg.rfind("--budget=", 0) == 0) {
+      config.time_budget_ms = std::strtod(arg.c_str() + 9, nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scale=N] [--full] [--backend=trie|hash_tree|"
+                   "linear|vertical] [--skip-apriori] [--budget=MS]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return config;
+}
+
+void RunExperiment(const ExperimentSpec& spec, const BenchConfig& config) {
+  QuestParams quest = spec.quest;
+  quest.num_transactions =
+      std::max<size_t>(quest.num_transactions / config.scale, 100);
+
+  std::cout << "\n== " << spec.title << ": " << quest.Name();
+  if (config.scale != 1) std::cout << "  [scaled 1/" << config.scale << "]";
+  std::cout << " ==\n";
+
+  const StatusOr<TransactionDatabase> db = GenerateQuestDatabase(quest);
+  if (!db.ok()) {
+    std::cerr << "generation failed: " << db.status() << "\n";
+    std::exit(1);
+  }
+  const DatabaseStats stats = ComputeStats(*db);
+  std::cout << "|D|=" << stats.num_transactions
+            << " avg|T|=" << TablePrinter::FormatDouble(
+                   stats.avg_transaction_size, 1)
+            << " active items=" << stats.num_active_items << "\n";
+
+  TablePrinter table({"minsup", "apriori_ms", "pincer_ms", "time_ratio",
+                      "apriori_cands", "pincer_cands", "cand_ratio",
+                      "apriori_passes", "pincer_passes", "|MFS|", "max_len"});
+
+  for (double min_support : spec.min_supports) {
+    MiningOptions options;
+    options.min_support = min_support;
+    options.backend = config.backend;
+
+    MiningOptions pincer_options = options;
+    pincer_options.time_budget_ms = config.time_budget_ms;
+    const MaximalSetResult pincer =
+        MineMaximal(*db, pincer_options, Algorithm::kPincerAdaptive);
+
+    std::string apriori_ms = "-";
+    std::string apriori_cands = "-";
+    std::string apriori_passes = "-";
+    std::string time_ratio = "-";
+    std::string cand_ratio = "-";
+    if (!config.skip_apriori) {
+      MiningOptions apriori_options = options;
+      apriori_options.time_budget_ms = config.time_budget_ms;
+      const MaximalSetResult apriori =
+          MineMaximal(*db, apriori_options, Algorithm::kApriori);
+      if (apriori.stats.aborted) {
+        // The paper's explosion regime: report what is known as lower
+        // bounds instead of waiting hours for the baseline.
+        auto lower_bound = [](std::string value) {
+          value.insert(0, 1, '>');
+          return value;
+        };
+        apriori_ms = lower_bound(
+            TablePrinter::FormatDouble(apriori.stats.elapsed_millis, 0));
+        apriori_cands = lower_bound(TablePrinter::FormatInt(
+            static_cast<int64_t>(apriori.stats.reported_candidates)));
+        apriori_passes = lower_bound(TablePrinter::FormatInt(
+            static_cast<int64_t>(apriori.stats.passes)));
+        time_ratio = lower_bound(TablePrinter::FormatRatio(
+            apriori.stats.elapsed_millis, pincer.stats.elapsed_millis));
+        cand_ratio = lower_bound(TablePrinter::FormatRatio(
+            static_cast<double>(apriori.stats.reported_candidates),
+            static_cast<double>(pincer.stats.reported_candidates)));
+      } else {
+        if (!pincer.stats.aborted && !(apriori.mfs == pincer.mfs)) {
+          std::cerr << "FATAL: Apriori and Pincer-Search disagree at minsup "
+                    << min_support << "\n";
+          std::exit(1);
+        }
+        apriori_ms =
+            TablePrinter::FormatDouble(apriori.stats.elapsed_millis, 1);
+        apriori_cands = TablePrinter::FormatInt(
+            static_cast<int64_t>(apriori.stats.reported_candidates));
+        apriori_passes = TablePrinter::FormatInt(
+            static_cast<int64_t>(apriori.stats.passes));
+        time_ratio = TablePrinter::FormatRatio(apriori.stats.elapsed_millis,
+                                               pincer.stats.elapsed_millis);
+        cand_ratio = TablePrinter::FormatRatio(
+            static_cast<double>(apriori.stats.reported_candidates),
+            static_cast<double>(pincer.stats.reported_candidates));
+      }
+    }
+
+    std::string pincer_ms =
+        TablePrinter::FormatDouble(pincer.stats.elapsed_millis, 1);
+    if (pincer.stats.aborted) pincer_ms.insert(0, 1, '>');
+    table.AddRow({TablePrinter::FormatPercent(min_support), apriori_ms,
+                  std::move(pincer_ms),
+                  time_ratio, apriori_cands,
+                  TablePrinter::FormatInt(static_cast<int64_t>(
+                      pincer.stats.reported_candidates)),
+                  cand_ratio, apriori_passes,
+                  TablePrinter::FormatInt(
+                      static_cast<int64_t>(pincer.stats.passes)),
+                  TablePrinter::FormatInt(
+                      static_cast<int64_t>(pincer.mfs.size())),
+                  TablePrinter::FormatInt(
+                      static_cast<int64_t>(MaxLength(pincer.mfs)))});
+    std::cerr << "  [" << spec.title << "] minsup "
+              << TablePrinter::FormatPercent(min_support) << " done\n";
+  }
+  table.Print(std::cout);
+  std::cout.flush();
+}
+
+}  // namespace bench
+}  // namespace pincer

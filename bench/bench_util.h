@@ -1,0 +1,59 @@
+// Shared experiment runner for the Figure 3 / Figure 4 reproductions: each
+// experiment generates one Quest database, sweeps minimum supports, runs the
+// Apriori baseline and the adaptive Pincer-Search on each, and prints the
+// series the paper plots (relative time, relative candidates, passes).
+
+#ifndef PINCER_BENCH_BENCH_UTIL_H_
+#define PINCER_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "gen/quest_gen.h"
+#include "mining/options.h"
+
+namespace pincer {
+namespace bench {
+
+/// Command-line configuration shared by the figure harnesses.
+struct BenchConfig {
+  /// Divide |D| by this factor (paper scale is 100K transactions; the
+  /// default 10 gives 10K-row databases that reproduce the shapes in
+  /// seconds). Pass --scale=1 for the paper's full |D|.
+  size_t scale = 10;
+  /// True if --scale/--full was given; harnesses with a different preferred
+  /// default (fig4 uses 100) only override when this is false.
+  bool scale_explicit = false;
+  /// Counting backend for both algorithms.
+  CounterBackend backend = CounterBackend::kTrie;
+  /// Skip the Apriori baseline (Pincer rows only).
+  bool skip_apriori = false;
+  /// Per-run Apriori wall-clock budget in ms (0 = unlimited). When Apriori
+  /// exceeds it the row reports a lower-bound ratio — this is how the
+  /// harness survives the settings where the paper's point is precisely
+  /// that Apriori explodes (T20.I15 at 6-7%). Soft budget: checked between
+  /// passes; default 30 s. Override with --budget=MS.
+  double time_budget_ms = 30000;
+};
+
+/// Parses --scale=N, --backend=NAME, --skip-apriori flags. Unknown flags
+/// abort with a usage message.
+BenchConfig ParseBenchArgs(int argc, char** argv);
+
+/// One database + support sweep.
+struct ExperimentSpec {
+  std::string title;       // e.g. "Figure 3, row 1"
+  QuestParams quest;       // database parameters (|D| at paper scale)
+  std::vector<double> min_supports;  // fractions, descending
+};
+
+/// Runs the experiment and prints one table: per support row, Apriori vs
+/// Pincer time / candidates / passes plus the ratios, exactly the series of
+/// the paper's figures. Also cross-checks that both algorithms produce the
+/// same MFS (aborts loudly otherwise).
+void RunExperiment(const ExperimentSpec& spec, const BenchConfig& config);
+
+}  // namespace bench
+}  // namespace pincer
+
+#endif  // PINCER_BENCH_BENCH_UTIL_H_

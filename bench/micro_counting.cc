@@ -1,0 +1,86 @@
+// Google-benchmark microbenchmarks of the counting backends: per-pass cost
+// of counting a fixed candidate batch over a Quest database. These quantify
+// the backend choice that the figure harnesses treat as a constant.
+
+#include <benchmark/benchmark.h>
+
+#include "apriori/apriori.h"
+#include "counting/array_counters.h"
+#include "counting/counter_factory.h"
+#include "gen/quest_gen.h"
+#include "mining/miner.h"
+
+namespace pincer {
+namespace {
+
+const TransactionDatabase& BenchDb() {
+  static const TransactionDatabase* db = [] {
+    QuestParams params;
+    params.num_transactions = 5000;
+    params.avg_transaction_size = 10;
+    params.num_items = 500;
+    params.num_patterns = 100;
+    params.avg_pattern_size = 4;
+    params.seed = 99;
+    auto result = GenerateQuestDatabase(params);
+    return new TransactionDatabase(std::move(result).value());
+  }();
+  return *db;
+}
+
+// Frequent 3-candidates of the bench database — a realistic pass-3 batch.
+const std::vector<Itemset>& BenchCandidates() {
+  static const std::vector<Itemset>* candidates = [] {
+    MiningOptions options;
+    options.min_support = 0.01;
+    const FrequentSetResult frequent = AprioriMine(BenchDb(), options);
+    auto* out = new std::vector<Itemset>();
+    for (const FrequentItemset& fi : frequent.frequent) {
+      if (fi.itemset.size() == 2) out->push_back(fi.itemset);
+    }
+    return out;
+  }();
+  return *candidates;
+}
+
+void BM_CountSupports(benchmark::State& state) {
+  const auto backend = static_cast<CounterBackend>(state.range(0));
+  auto counter = CreateCounter(backend, BenchDb());
+  const std::vector<Itemset>& candidates = BenchCandidates();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter->CountSupports(candidates));
+  }
+  state.SetLabel(std::string(CounterBackendName(backend)) + " x" +
+                 std::to_string(candidates.size()) + " candidates");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(BenchDb().size()));
+}
+BENCHMARK(BM_CountSupports)
+    ->Arg(static_cast<int>(CounterBackend::kLinear))
+    ->Arg(static_cast<int>(CounterBackend::kHashTree))
+    ->Arg(static_cast<int>(CounterBackend::kTrie))
+    ->Arg(static_cast<int>(CounterBackend::kVertical))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PassOneArray(benchmark::State& state) {
+  const TransactionDatabase& db = BenchDb();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CountSingletons(db));
+  }
+}
+BENCHMARK(BM_PassOneArray)->Unit(benchmark::kMillisecond);
+
+void BM_PassTwoTriangularMatrix(benchmark::State& state) {
+  const TransactionDatabase& db = BenchDb();
+  std::vector<ItemId> items;
+  for (ItemId i = 0; i < db.num_items(); ++i) items.push_back(i);
+  for (auto _ : state) {
+    PairCountMatrix matrix(items);
+    matrix.CountDatabase(db);
+    benchmark::DoNotOptimize(matrix);
+  }
+}
+BENCHMARK(BM_PassTwoTriangularMatrix)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pincer

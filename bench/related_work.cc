@@ -1,0 +1,94 @@
+// Reproduces the paper's §5 qualitative claim about Partition [16] and
+// Sampling [18]: both reduce the number of database passes, "however, they
+// are still inefficient when the maximal frequent itemsets are long" —
+// because, like Apriori, they enumerate every frequent itemset, while
+// Pincer-Search's candidate count stays near the number of *maximal*
+// itemsets. This harness compares all four algorithms on a concentrated
+// database as the maximal itemsets grow.
+//
+//   ./related_work [--scale=N]
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "extensions/partition.h"
+#include "extensions/sampling.h"
+#include "gen/quest_gen.h"
+#include "mining/miner.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace pincer;
+
+void Compare(const TransactionDatabase& db, double min_support) {
+  MiningOptions options;
+  options.min_support = min_support;
+
+  TablePrinter table({"algorithm", "time_ms", "full_db_passes",
+                      "candidates", "frequent_or_mfs"});
+
+  const MaximalSetResult pincer =
+      MineMaximal(db, options, Algorithm::kPincerAdaptive);
+  const FrequentSetResult apriori = AprioriMine(db, options);
+  const FrequentSetResult partition = PartitionMine(db, options);
+  SamplingOptions sampling_options;
+  sampling_options.sample_fraction = 0.1;
+  const FrequentSetResult sampling =
+      SamplingMine(db, options, sampling_options);
+
+  if (!(apriori.frequent == partition.frequent) ||
+      !(apriori.frequent == sampling.frequent) ||
+      !(apriori.MaximalItemsets() == pincer.mfs)) {
+    std::cerr << "FATAL: algorithms disagree at minsup " << min_support
+              << "\n";
+    std::exit(1);
+  }
+
+  auto add_row = [&table](const std::string& name, const MiningStats& stats,
+                          size_t output_size) {
+    table.AddRow({name, TablePrinter::FormatDouble(stats.elapsed_millis, 1),
+                  TablePrinter::FormatInt(static_cast<int64_t>(stats.passes)),
+                  TablePrinter::FormatInt(
+                      static_cast<int64_t>(stats.reported_candidates)),
+                  TablePrinter::FormatInt(static_cast<int64_t>(output_size))});
+  };
+  add_row("apriori", apriori.stats, apriori.frequent.size());
+  add_row("partition", partition.stats, partition.frequent.size());
+  add_row("sampling", sampling.stats, sampling.frequent.size());
+  add_row("pincer-adaptive", pincer.stats, pincer.mfs.size());
+
+  std::cout << "\nmin support " << min_support * 100
+            << "% — frequent itemsets: " << apriori.frequent.size()
+            << ", maximal: " << pincer.mfs.size() << "\n";
+  table.Print(std::cout);
+  std::cout.flush();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchConfig config = bench::ParseBenchArgs(argc, argv);
+
+  for (double avg_pattern_size : {6.0, 10.0}) {
+    QuestParams params;
+    params.num_transactions = std::max<size_t>(100000 / config.scale, 100);
+    params.num_items = 1000;
+    params.num_patterns = 50;
+    params.avg_transaction_size = 20;
+    params.avg_pattern_size = avg_pattern_size;
+    params.seed = 19980323;
+    std::cout << "\n== Related work (§5) on " << params.Name() << " ==\n";
+    const StatusOr<TransactionDatabase> db = GenerateQuestDatabase(params);
+    if (!db.ok()) {
+      std::cerr << db.status() << "\n";
+      return 1;
+    }
+    Compare(*db, avg_pattern_size <= 6 ? 0.15 : 0.10);
+  }
+  std::cout << "\nShape to observe: Partition/Sampling cut *passes* but "
+               "their candidate counts track Apriori's (every frequent "
+               "itemset), while Pincer-Search's track the number of maximal "
+               "itemsets.\n";
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Synthetic-data generator CLI: writes an IBM-Quest-style database to a
+// basket file that mine_cli (or any other tool) can consume.
+//
+//   ./generate_data out.basket [--d=100000] [--t=10] [--i=4] [--n=1000]
+//                   [--l=2000] [--seed=S]
+//
+// Defaults produce the paper's T10.I4.D100K with |L|=2000, N=1000.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "data/database_io.h"
+#include "data/database_stats.h"
+#include "gen/quest_gen.h"
+
+int main(int argc, char** argv) {
+  using namespace pincer;
+
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0]
+              << " <out.basket> [--d=N] [--t=T] [--i=I] [--n=N_ITEMS] "
+                 "[--l=PATTERNS] [--seed=S]\n";
+    return 2;
+  }
+  const std::string path = argv[1];
+
+  QuestParams params;
+  params.num_transactions = 100000;
+  params.avg_transaction_size = 10;
+  params.avg_pattern_size = 4;
+  params.num_items = 1000;
+  params.num_patterns = 2000;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](size_t prefix) {
+      return std::strtod(arg.c_str() + prefix, nullptr);
+    };
+    if (arg.rfind("--d=", 0) == 0) {
+      params.num_transactions = static_cast<size_t>(value(4));
+    } else if (arg.rfind("--t=", 0) == 0) {
+      params.avg_transaction_size = value(4);
+    } else if (arg.rfind("--i=", 0) == 0) {
+      params.avg_pattern_size = value(4);
+    } else if (arg.rfind("--n=", 0) == 0) {
+      params.num_items = static_cast<size_t>(value(4));
+    } else if (arg.rfind("--l=", 0) == 0) {
+      params.num_patterns = static_cast<size_t>(value(4));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      params.seed = static_cast<uint64_t>(value(7));
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  std::cerr << "Generating " << params.Name() << " ...\n";
+  const StatusOr<TransactionDatabase> db = GenerateQuestDatabase(params);
+  if (!db.ok()) {
+    std::cerr << db.status() << "\n";
+    return 1;
+  }
+  const Status written = WriteDatabaseToFile(*db, path);
+  if (!written.ok()) {
+    std::cerr << written << "\n";
+    return 1;
+  }
+  std::cerr << ComputeStats(*db).ToString();
+  std::cerr << "Wrote " << path << "\n";
+  return 0;
+}

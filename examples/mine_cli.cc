@@ -1,0 +1,118 @@
+// Command-line miner: the end-to-end tool a downstream user would run on
+// their own basket file.
+//
+//   ./mine_cli <database.basket> [options]
+//     --min-support=0.01         fraction of |D| (default 0.01)
+//     --algorithm=pincer         apriori | pincer | pincer-adaptive
+//     --backend=trie             trie | hash_tree | linear | vertical
+//     --rules=<min_confidence>   also generate association rules
+//     --stats                    print per-pass statistics
+//
+// Exit status: 0 on success, 1 on bad input, 2 on bad usage.
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "counting/counter_factory.h"
+#include "data/database_io.h"
+#include "data/database_stats.h"
+#include "mining/miner.h"
+#include "rules/mfs_rule_gen.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " <database.basket> [--min-support=F] "
+               "[--algorithm=apriori|pincer|pincer-adaptive] "
+               "[--backend=trie|hash_tree|linear|vertical] "
+               "[--rules=MIN_CONFIDENCE] [--stats]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pincer;
+
+  if (argc < 2) return Usage(argv[0]);
+  const std::string path = argv[1];
+
+  MiningOptions options;
+  Algorithm algorithm = Algorithm::kPincerAdaptive;
+  double min_confidence = -1.0;
+  bool print_stats = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--min-support=", 0) == 0) {
+      options.min_support = std::strtod(arg.c_str() + 14, nullptr);
+      if (options.min_support <= 0.0 || options.min_support > 1.0) {
+        std::cerr << "min-support must be in (0, 1]\n";
+        return 2;
+      }
+    } else if (arg.rfind("--algorithm=", 0) == 0) {
+      const StatusOr<Algorithm> parsed = ParseAlgorithm(arg.substr(12));
+      if (!parsed.ok()) {
+        std::cerr << parsed.status() << "\n";
+        return 2;
+      }
+      algorithm = *parsed;
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      const std::string name = arg.substr(10);
+      bool found = false;
+      for (CounterBackend backend : AllCounterBackends()) {
+        if (name == CounterBackendName(backend)) {
+          options.backend = backend;
+          found = true;
+        }
+      }
+      if (!found) {
+        std::cerr << "unknown backend: " << name << "\n";
+        return 2;
+      }
+    } else if (arg.rfind("--rules=", 0) == 0) {
+      min_confidence = std::strtod(arg.c_str() + 8, nullptr);
+    } else if (arg == "--stats") {
+      print_stats = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  const StatusOr<TransactionDatabase> db = ReadDatabaseFromFile(path);
+  if (!db.ok()) {
+    std::cerr << "error reading " << path << ": " << db.status() << "\n";
+    return 1;
+  }
+  std::cerr << ComputeStats(*db).ToString();
+
+  const MaximalSetResult result = MineMaximal(*db, options, algorithm);
+  std::cout << "# maximal frequent itemsets: " << result.mfs.size() << "\n";
+  std::cout << "# format: support <tab> items...\n";
+  for (const FrequentItemset& fi : result.mfs) {
+    std::cout << fi.support << "\t";
+    for (size_t i = 0; i < fi.itemset.size(); ++i) {
+      if (i > 0) std::cout << ' ';
+      std::cout << fi.itemset[i];
+    }
+    std::cout << "\n";
+  }
+
+  if (print_stats) std::cerr << result.stats.ToString();
+
+  if (min_confidence >= 0.0) {
+    RuleOptions rule_options;
+    rule_options.min_confidence = min_confidence;
+    const std::vector<AssociationRule> rules =
+        GenerateRulesFromMfs(*db, result, options, rule_options);
+    std::cout << "# rules (confidence >= " << min_confidence
+              << "): " << rules.size() << "\n";
+    for (const AssociationRule& rule : rules) {
+      std::cout << rule << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates every experiment artifact recorded in EXPERIMENTS.md.
+#
+#   scripts/run_all_experiments.sh [build_dir] [scale]
+#
+# scale divides the paper's |D| = 100K (default 10; use 1 for full scale —
+# expect hours at full scale because Apriori genuinely explodes on the
+# Figure-4 settings, which is the paper's point).
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SCALE="${2:-10}"
+BUDGET_MS=60000
+
+run() {
+  echo "== $* =="
+  "$@"
+}
+
+run "$BUILD_DIR/bench/fig3_scattered" --scale="$SCALE" --budget="$BUDGET_MS" \
+  | tee bench_fig3.txt
+run "$BUILD_DIR/bench/fig4_concentrated" --scale="$SCALE" --budget="$BUDGET_MS" \
+  | tee bench_fig4.txt
+run "$BUILD_DIR/bench/fig4_concentrated" --scale=100 --budget="$BUDGET_MS" \
+  | tee bench_fig4_scale100.txt
+run "$BUILD_DIR/bench/ablation_mfcs" --scale="$SCALE" | tee bench_ablation.txt
+run "$BUILD_DIR/bench/related_work" --scale="$SCALE" | tee bench_related.txt
+run "$BUILD_DIR/bench/micro_counting" | tee bench_micro_counting.txt
+run "$BUILD_DIR/bench/micro_itemset" | tee bench_micro_itemset.txt
+echo "All experiment outputs written."

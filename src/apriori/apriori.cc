@@ -1,0 +1,174 @@
+#include "apriori/apriori.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "apriori/apriori_gen.h"
+#include "counting/array_counters.h"
+#include "counting/counter_factory.h"
+#include "itemset/itemset_ops.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace pincer {
+
+std::vector<FrequentItemset> FrequentSetResult::MaximalItemsets() const {
+  std::unordered_map<Itemset, uint64_t, ItemsetHash> supports;
+  for (const FrequentItemset& fi : frequent) {
+    supports.emplace(fi.itemset, fi.support);
+  }
+  std::vector<FrequentItemset> maximal;
+  for (const Itemset& itemset : MaximalElements(ItemsetsOf(frequent))) {
+    maximal.push_back({itemset, supports.at(itemset)});
+  }
+  return maximal;
+}
+
+namespace {
+
+// Counts candidates either through the fast-path arrays (k = 1, 2) or the
+// generic backend, and splits them into frequent (appended to `result`,
+// returned as L_k) and the rest.
+struct PassOutcome {
+  std::vector<Itemset> frequent;  // L_k, sorted
+  size_t num_candidates = 0;
+};
+
+}  // namespace
+
+FrequentSetResult AprioriMine(const TransactionDatabase& db,
+                              const MiningOptions& options) {
+  Timer timer;
+  FrequentSetResult result;
+  MiningStats& stats = result.stats;
+  const uint64_t min_count = db.MinSupportCount(options.min_support);
+  auto counter = CreateCounter(options.backend, db);
+
+  // ---- Pass 1: 1-itemsets.
+  std::vector<Itemset> l1;
+  {
+    ++stats.passes;
+    PassStats pass;
+    pass.pass = 1;
+    pass.num_candidates = db.num_items();
+    std::vector<uint64_t> counts;
+    if (options.use_array_fast_path) {
+      counts = CountSingletons(db);
+    } else {
+      std::vector<Itemset> singles;
+      singles.reserve(db.num_items());
+      for (ItemId item = 0; item < db.num_items(); ++item) {
+        singles.push_back(Itemset{item});
+      }
+      counts = counter->CountSupports(singles);
+    }
+    for (ItemId item = 0; item < db.num_items(); ++item) {
+      if (counts[item] >= min_count) {
+        l1.push_back(Itemset{item});
+        result.frequent.push_back({l1.back(), counts[item]});
+      }
+    }
+    pass.num_frequent = l1.size();
+    stats.total_candidates += pass.num_candidates;
+    stats.per_pass.push_back(pass);
+    if (options.verbose) {
+      PINCER_LOG(kInfo) << "apriori pass 1: " << l1.size() << "/"
+                        << db.num_items() << " items frequent";
+    }
+  }
+
+  // ---- Pass 2: 2-itemsets via the triangular array (no generation step).
+  std::vector<Itemset> lk;
+  if (l1.size() >= 2) {
+    ++stats.passes;
+    PassStats pass;
+    pass.pass = 2;
+    std::vector<ItemId> frequent_items;
+    frequent_items.reserve(l1.size());
+    for (const Itemset& single : l1) frequent_items.push_back(single[0]);
+    pass.num_candidates = l1.size() * (l1.size() - 1) / 2;
+
+    if (options.use_array_fast_path) {
+      PairCountMatrix matrix(frequent_items);
+      matrix.CountDatabase(db);
+      for (size_t i = 0; i < frequent_items.size(); ++i) {
+        for (size_t j = i + 1; j < frequent_items.size(); ++j) {
+          const uint64_t count =
+              matrix.PairCount(frequent_items[i], frequent_items[j]);
+          if (count >= min_count) {
+            lk.push_back(Itemset{frequent_items[i], frequent_items[j]});
+            result.frequent.push_back({lk.back(), count});
+          }
+        }
+      }
+    } else {
+      std::vector<Itemset> pairs;
+      pairs.reserve(pass.num_candidates);
+      for (size_t i = 0; i < frequent_items.size(); ++i) {
+        for (size_t j = i + 1; j < frequent_items.size(); ++j) {
+          pairs.push_back(Itemset{frequent_items[i], frequent_items[j]});
+        }
+      }
+      const std::vector<uint64_t> counts = counter->CountSupports(pairs);
+      for (size_t i = 0; i < pairs.size(); ++i) {
+        if (counts[i] >= min_count) {
+          lk.push_back(pairs[i]);
+          result.frequent.push_back({pairs[i], counts[i]});
+        }
+      }
+    }
+    pass.num_frequent = lk.size();
+    stats.total_candidates += pass.num_candidates;
+    stats.per_pass.push_back(pass);
+    if (options.verbose) {
+      PINCER_LOG(kInfo) << "apriori pass 2: " << lk.size() << "/"
+                        << pass.num_candidates << " pairs frequent";
+    }
+  }
+
+  // ---- Passes k >= 3: Apriori-gen + backend counting.
+  size_t k = 3;
+  while (lk.size() >= 2) {
+    const std::vector<Itemset> candidates = AprioriGen(lk);
+    if (candidates.empty()) break;
+    // Budget check ordered after the termination test so a run that is
+    // already complete is never misreported as aborted; checked after
+    // generation because with millions of candidates the generation step
+    // alone can overshoot the budget.
+    if (options.time_budget_ms > 0 &&
+        timer.ElapsedMillis() > options.time_budget_ms) {
+      stats.aborted = true;
+      break;
+    }
+
+    ++stats.passes;
+    PassStats pass;
+    pass.pass = k;
+    pass.num_candidates = candidates.size();
+    stats.total_candidates += candidates.size();
+    stats.reported_candidates += candidates.size();
+
+    const std::vector<uint64_t> counts = counter->CountSupports(candidates);
+    std::vector<Itemset> next;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (counts[i] >= min_count) {
+        next.push_back(candidates[i]);
+        result.frequent.push_back({candidates[i], counts[i]});
+      }
+    }
+    pass.num_frequent = next.size();
+    stats.per_pass.push_back(pass);
+    if (options.verbose) {
+      PINCER_LOG(kInfo) << "apriori pass " << k << ": " << next.size() << "/"
+                        << candidates.size() << " candidates frequent";
+    }
+    lk = std::move(next);
+    ++k;
+  }
+
+  std::sort(result.frequent.begin(), result.frequent.end());
+  stats.elapsed_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace pincer

@@ -1,0 +1,166 @@
+#include "apriori/apriori_combined.h"
+
+#include <algorithm>
+
+#include "apriori/apriori_gen.h"
+#include "counting/array_counters.h"
+#include "counting/counter_factory.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace pincer {
+
+FrequentSetResult AprioriCombinedMine(const TransactionDatabase& db,
+                                      const MiningOptions& options,
+                                      const CombinedPassOptions& combined) {
+  Timer timer;
+  FrequentSetResult result;
+  MiningStats& stats = result.stats;
+  const uint64_t min_count = db.MinSupportCount(options.min_support);
+  auto counter = CreateCounter(options.backend, db);
+
+  // Passes 1 and 2 are identical to plain Apriori (array fast paths); reuse
+  // its driver on a clipped problem would re-scan, so inline the two passes.
+  std::vector<Itemset> l1;
+  {
+    ++stats.passes;
+    PassStats pass;
+    pass.pass = 1;
+    pass.num_candidates = db.num_items();
+    const std::vector<uint64_t> counts = CountSingletons(db);
+    for (ItemId item = 0; item < db.num_items(); ++item) {
+      if (counts[item] >= min_count) {
+        l1.push_back(Itemset{item});
+        result.frequent.push_back({l1.back(), counts[item]});
+      }
+    }
+    pass.num_frequent = l1.size();
+    stats.total_candidates += pass.num_candidates;
+    stats.per_pass.push_back(pass);
+  }
+
+  std::vector<Itemset> lk;
+  if (l1.size() >= 2) {
+    ++stats.passes;
+    PassStats pass;
+    pass.pass = 2;
+    std::vector<ItemId> frequent_items;
+    frequent_items.reserve(l1.size());
+    for (const Itemset& single : l1) frequent_items.push_back(single[0]);
+    pass.num_candidates = l1.size() * (l1.size() - 1) / 2;
+    PairCountMatrix matrix(frequent_items);
+    matrix.CountDatabase(db);
+    for (size_t i = 0; i < frequent_items.size(); ++i) {
+      for (size_t j = i + 1; j < frequent_items.size(); ++j) {
+        const uint64_t count =
+            matrix.PairCount(frequent_items[i], frequent_items[j]);
+        if (count >= min_count) {
+          lk.push_back(Itemset{frequent_items[i], frequent_items[j]});
+          result.frequent.push_back({lk.back(), count});
+        }
+      }
+    }
+    pass.num_frequent = lk.size();
+    stats.total_candidates += pass.num_candidates;
+    stats.per_pass.push_back(pass);
+  }
+
+  // Passes >= 3, combining two levels per pass when C_k is small. When the
+  // previous pass already counted this level optimistically, the counts are
+  // consumed without a new database read.
+  size_t k = 3;
+  std::vector<std::pair<Itemset, uint64_t>> precounted;  // sorted by itemset
+  while (true) {
+    if (options.time_budget_ms > 0 &&
+        timer.ElapsedMillis() > options.time_budget_ms) {
+      stats.aborted = true;
+      break;
+    }
+
+    std::vector<Itemset> candidates = AprioriGen(lk);
+    if (candidates.empty()) break;
+
+    std::vector<uint64_t> counts(candidates.size(), 0);
+    std::vector<bool> have_count(candidates.size(), false);
+    if (!precounted.empty()) {
+      // Candidates generated from L_k are a subset of the optimistic set
+      // counted last pass; look counts up by binary search.
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        auto it = std::lower_bound(
+            precounted.begin(), precounted.end(), candidates[i],
+            [](const auto& entry, const Itemset& value) {
+              return entry.first < value;
+            });
+        if (it != precounted.end() && it->first == candidates[i]) {
+          counts[i] = it->second;
+          have_count[i] = true;
+        }
+      }
+      precounted.clear();
+    }
+
+    const bool all_precounted =
+        std::all_of(have_count.begin(), have_count.end(),
+                    [](bool have) { return have; });
+
+    if (!all_precounted) {
+      // A real pass is needed. Decide whether to piggyback the optimistic
+      // next level onto it.
+      std::vector<Itemset> batch = candidates;
+      size_t optimistic_start = batch.size();
+      if (candidates.size() <= combined.combine_threshold) {
+        std::vector<Itemset> optimistic = AprioriGen(candidates);
+        optimistic_start = batch.size();
+        batch.insert(batch.end(),
+                     std::make_move_iterator(optimistic.begin()),
+                     std::make_move_iterator(optimistic.end()));
+      }
+
+      ++stats.passes;
+      PassStats pass;
+      pass.pass = k;
+      pass.num_candidates = batch.size();
+      stats.total_candidates += batch.size();
+      stats.reported_candidates += batch.size();
+
+      const std::vector<uint64_t> batch_counts =
+          counter->CountSupports(batch);
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        counts[i] = batch_counts[i];
+      }
+      for (size_t i = optimistic_start; i < batch.size(); ++i) {
+        precounted.emplace_back(std::move(batch[i]), batch_counts[i]);
+      }
+      // AprioriGen output is sorted, so precounted is sorted by itemset.
+
+      size_t num_frequent = 0;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (counts[i] >= min_count) ++num_frequent;
+      }
+      pass.num_frequent = num_frequent;
+      stats.per_pass.push_back(pass);
+    }
+
+    std::vector<Itemset> next;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (counts[i] >= min_count) {
+        next.push_back(candidates[i]);
+        result.frequent.push_back({candidates[i], counts[i]});
+      }
+    }
+    if (options.verbose) {
+      PINCER_LOG(kInfo) << "apriori-combined level " << k << ": "
+                        << next.size() << "/" << candidates.size()
+                        << " frequent" << (all_precounted ? " (no pass)" : "");
+    }
+    lk = std::move(next);
+    ++k;
+    if (lk.size() < 2) break;
+  }
+
+  std::sort(result.frequent.begin(), result.frequent.end());
+  stats.elapsed_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace pincer

@@ -1,0 +1,62 @@
+#include "apriori/apriori_gen.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "itemset/itemset_ops.h"
+
+namespace pincer {
+
+std::vector<Itemset> AprioriJoin(const std::vector<Itemset>& lk) {
+  assert(std::is_sorted(lk.begin(), lk.end()));
+  std::vector<Itemset> candidates;
+  if (lk.empty()) return candidates;
+  const size_t k = lk[0].size();
+  if (k == 0) return candidates;
+
+  // Because lk is sorted, all itemsets sharing a (k-1)-prefix are
+  // contiguous; for each i, scan forward while the prefix matches (the
+  // paper's inner-loop break).
+  for (size_t i = 0; i + 1 < lk.size(); ++i) {
+    for (size_t j = i + 1; j < lk.size(); ++j) {
+      if (!lk[i].SharesPrefix(lk[j], k - 1)) break;
+      candidates.push_back(Join(lk[i], lk[j]));
+    }
+  }
+  // Sorted input + contiguous prefix groups yield sorted unique output, but
+  // normalize defensively (cheap relative to counting).
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+std::vector<Itemset> AprioriPrune(std::vector<Itemset> candidates,
+                                  const ItemsetSet& lk_set) {
+  auto has_infrequent_subset = [&lk_set](const Itemset& candidate) {
+    const size_t k = candidate.size() - 1;
+    // Every k-subset is the candidate minus one item.
+    for (size_t drop = 0; drop < candidate.size(); ++drop) {
+      std::vector<ItemId> subset;
+      subset.reserve(k);
+      for (size_t i = 0; i < candidate.size(); ++i) {
+        if (i != drop) subset.push_back(candidate[i]);
+      }
+      if (!lk_set.Contains(Itemset::FromSorted(std::move(subset)))) {
+        return true;
+      }
+    }
+    return false;
+  };
+  candidates.erase(
+      std::remove_if(candidates.begin(), candidates.end(),
+                     has_infrequent_subset),
+      candidates.end());
+  return candidates;
+}
+
+std::vector<Itemset> AprioriGen(const std::vector<Itemset>& lk) {
+  return AprioriPrune(AprioriJoin(lk), ItemsetSet(lk));
+}
+
+}  // namespace pincer

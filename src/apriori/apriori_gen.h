@@ -1,0 +1,33 @@
+// The Apriori-gen candidate generation procedure of Agrawal & Srikant
+// (VLDB'94), as recalled in §3.3 of the Pincer-Search paper: the (k-1)-prefix
+// join followed by the subset-based prune. The Pincer core reuses the join
+// and replaces the prune (see core/candidate_gen.h).
+
+#ifndef PINCER_APRIORI_APRIORI_GEN_H_
+#define PINCER_APRIORI_APRIORI_GEN_H_
+
+#include <vector>
+
+#include "itemset/itemset.h"
+#include "itemset/itemset_set.h"
+
+namespace pincer {
+
+/// The join procedure: combines every pair of k-itemsets in `lk` that share
+/// a (k-1)-prefix into a (k+1)-candidate. `lk` must be sorted
+/// lexicographically (asserted in debug builds); the output is sorted and
+/// duplicate-free.
+std::vector<Itemset> AprioriJoin(const std::vector<Itemset>& lk);
+
+/// The prune procedure: removes from `candidates` every itemset with a
+/// k-subset missing from `lk` (i.e., supersets of known-infrequent
+/// itemsets). `lk_set` must contain exactly the itemsets of L_k.
+std::vector<Itemset> AprioriPrune(std::vector<Itemset> candidates,
+                                  const ItemsetSet& lk_set);
+
+/// Full Apriori-gen: join then prune. `lk` must be sorted.
+std::vector<Itemset> AprioriGen(const std::vector<Itemset>& lk);
+
+}  // namespace pincer
+
+#endif  // PINCER_APRIORI_APRIORI_GEN_H_

@@ -1,0 +1,78 @@
+#include "core/candidate_gen.h"
+
+#include <algorithm>
+
+#include "apriori/apriori_gen.h"
+
+namespace pincer {
+
+std::vector<Itemset> Recover(const std::vector<Itemset>& lk,
+                             const std::vector<Itemset>& mfs_itemsets) {
+  std::vector<Itemset> recovered;
+  if (lk.empty()) return recovered;
+  const size_t k = lk[0].size();
+  if (k == 0) return recovered;
+
+  for (const Itemset& y : lk) {
+    const ItemId y_last = y[y.size() - 1];
+    for (const Itemset& x : mfs_itemsets) {
+      if (x.size() <= k) continue;
+      // The first k-1 items of Y must lie in X.
+      if (!y.Prefix(k - 1).IsSubsetOf(x)) continue;
+      // Find j, the index within X of Y's (k-1)-st item (the last item of
+      // Y's prefix); if absent there is no k-subset of X with Y's prefix.
+      // For k == 1 the prefix is empty and every item of X qualifies.
+      int j = -1;
+      if (k >= 2) {
+        j = x.IndexOf(y[k - 2]);
+        if (j < 0) continue;
+      }
+      for (size_t idx = static_cast<size_t>(j + 1); idx < x.size(); ++idx) {
+        const ItemId e = x[idx];
+        if (e == y_last) continue;  // would reproduce Y itself
+        recovered.push_back(y.WithItem(e));
+      }
+    }
+  }
+  return recovered;
+}
+
+std::vector<Itemset> NewPrune(std::vector<Itemset> candidates,
+                              const ItemsetSet& lk_set, const Mfs& mfs) {
+  auto should_delete = [&](const Itemset& candidate) {
+    if (mfs.CoveredBy(candidate)) return true;
+    // Every k-subset (candidate minus one item) must be known frequent:
+    // either still in L_k or removed from it as a subset of an MFS element.
+    for (size_t drop = 0; drop < candidate.size(); ++drop) {
+      std::vector<ItemId> subset;
+      subset.reserve(candidate.size() - 1);
+      for (size_t i = 0; i < candidate.size(); ++i) {
+        if (i != drop) subset.push_back(candidate[i]);
+      }
+      const Itemset s = Itemset::FromSorted(std::move(subset));
+      if (!lk_set.Contains(s) && !mfs.CoveredBy(s)) return true;
+    }
+    return false;
+  };
+  candidates.erase(
+      std::remove_if(candidates.begin(), candidates.end(), should_delete),
+      candidates.end());
+  return candidates;
+}
+
+std::vector<Itemset> PincerCandidateGen(const std::vector<Itemset>& lk,
+                                        const Mfs& mfs) {
+  std::vector<Itemset> candidates = AprioriJoin(lk);
+  if (!mfs.empty()) {
+    std::vector<Itemset> recovered = Recover(lk, mfs.Itemsets());
+    candidates.insert(candidates.end(),
+                      std::make_move_iterator(recovered.begin()),
+                      std::make_move_iterator(recovered.end()));
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+  }
+  return NewPrune(std::move(candidates), ItemsetSet(lk), mfs);
+}
+
+}  // namespace pincer

@@ -1,0 +1,46 @@
+// Pincer-Search's new candidate generation (§3.4): the Apriori join is
+// reused unchanged, but because subsets of discovered maximal frequent
+// itemsets are removed from L_k, two new pieces are needed — the *recovery*
+// procedure, which regenerates candidates the join can no longer see, and
+// the *new prune*, which additionally drops candidates covered by the MFS.
+
+#ifndef PINCER_CORE_CANDIDATE_GEN_H_
+#define PINCER_CORE_CANDIDATE_GEN_H_
+
+#include <vector>
+
+#include "core/mfs.h"
+#include "itemset/itemset.h"
+#include "itemset/itemset_set.h"
+
+namespace pincer {
+
+/// The recovery procedure. For each itemset Y in `lk` (the current frequent
+/// set, with MFS subsets removed) and each X in `mfs_itemsets` with
+/// |X| > |Y|: when Y's (k-1)-prefix lies inside X, every item e of X larger
+/// than Y's (k-1)-st item (and different from Y's last item) yields the
+/// candidate Y ∪ {e}. These are exactly the joins of Y with the k-subsets of
+/// X that share Y's (k-1)-prefix (§3.4). Output is unsorted and may overlap
+/// with itself; callers dedup (the join cannot produce these candidates, see
+/// the paper's worked example).
+std::vector<Itemset> Recover(const std::vector<Itemset>& lk,
+                             const std::vector<Itemset>& mfs_itemsets);
+
+/// The new prune procedure. Removes every candidate that (a) is a subset of
+/// an MFS element — its frequency is already known (Observation 2) — or
+/// (b) has a k-subset that is neither in `lk_set` nor covered by the MFS,
+/// i.e., is not known frequent (Observation 1). Test (b) must treat
+/// MFS-covered subsets as frequent because line 8 of the main algorithm
+/// removed them from L_k.
+std::vector<Itemset> NewPrune(std::vector<Itemset> candidates,
+                              const ItemsetSet& lk_set, const Mfs& mfs);
+
+/// Full new candidate generation: join + recovery (when the MFS is
+/// non-empty) + new prune. `lk` must be sorted lexicographically. The result
+/// is sorted and duplicate-free.
+std::vector<Itemset> PincerCandidateGen(const std::vector<Itemset>& lk,
+                                        const Mfs& mfs);
+
+}  // namespace pincer
+
+#endif  // PINCER_CORE_CANDIDATE_GEN_H_

@@ -1,0 +1,126 @@
+#include "core/mfcs.h"
+
+#include <algorithm>
+
+namespace pincer {
+
+Mfcs::Mfcs(size_t num_items) : universe_(num_items) {
+  if (num_items > 0) {
+    items_.push_back(Itemset::Full(num_items));
+    bits_.push_back(BitsOf(items_.back()));
+  }
+}
+
+Mfcs::Mfcs(const std::vector<Itemset>& elements) : universe_(0) {
+  for (const Itemset& element : elements) {
+    if (!element.empty()) {
+      universe_ = std::max(universe_,
+                           static_cast<size_t>(element[element.size() - 1]) + 1);
+    }
+  }
+  for (const Itemset& element : elements) {
+    items_.push_back(element);
+    bits_.push_back(BitsOf(element));
+  }
+}
+
+DynamicBitset Mfcs::BitsOf(const Itemset& itemset) const {
+  DynamicBitset bits(universe_);
+  for (ItemId item : itemset) bits.Set(item);
+  return bits;
+}
+
+bool Mfcs::CoveredInternally(const DynamicBitset& bits) const {
+  for (const DynamicBitset& element_bits : bits_) {
+    if (bits.IsSubsetOf(element_bits)) return true;
+  }
+  return false;
+}
+
+bool Mfcs::Update(const std::vector<Itemset>& infrequent, const Mfs& mfs,
+                  size_t max_elements, size_t max_scan_steps) {
+  size_t scan_steps = 0;
+  for (const Itemset& s : infrequent) {
+    if (s.empty()) continue;
+    if (max_elements > 0 && items_.size() > max_elements) return false;
+    scan_steps += items_.size() + 1;
+    if (max_scan_steps > 0 && scan_steps > max_scan_steps) return false;
+
+    // Partition: elements containing s are removed and replaced below.
+    std::vector<Itemset> superset_items;
+    std::vector<DynamicBitset> superset_bits;
+    size_t write = 0;
+    for (size_t j = 0; j < items_.size(); ++j) {
+      bool contains_s = true;
+      for (ItemId item : s) {
+        if (item >= universe_ || !bits_[j].Test(item)) {
+          contains_s = false;
+          break;
+        }
+      }
+      if (contains_s) {
+        superset_items.push_back(std::move(items_[j]));
+        superset_bits.push_back(std::move(bits_[j]));
+      } else {
+        if (write != j) {
+          items_[write] = std::move(items_[j]);
+          bits_[write] = std::move(bits_[j]);
+        }
+        ++write;
+      }
+    }
+    items_.resize(write);
+    bits_.resize(write);
+
+    for (size_t m = 0; m < superset_items.size(); ++m) {
+      for (ItemId e : s) {
+        Itemset replacement = superset_items[m].WithoutItem(e);
+        if (replacement.empty()) continue;
+        // The coverage check below scans the element list again.
+        scan_steps += items_.size() + mfs.size() + 1;
+        if (max_scan_steps > 0 && scan_steps > max_scan_steps) return false;
+        DynamicBitset replacement_bits = superset_bits[m];
+        replacement_bits.Reset(e);
+        if (!CoveredInternally(replacement_bits) &&
+            !mfs.CoveredBy(replacement)) {
+          items_.push_back(std::move(replacement));
+          bits_.push_back(std::move(replacement_bits));
+          if (max_elements > 0 && items_.size() > max_elements) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+void Mfcs::Clear() {
+  items_.clear();
+  bits_.clear();
+}
+
+bool Mfcs::Remove(const Itemset& itemset) {
+  auto it = std::find(items_.begin(), items_.end(), itemset);
+  if (it == items_.end()) return false;
+  const size_t index = static_cast<size_t>(it - items_.begin());
+  items_.erase(it);
+  bits_.erase(bits_.begin() + static_cast<long>(index));
+  return true;
+}
+
+bool Mfcs::Covers(const Itemset& itemset, const Mfs& mfs) const {
+  bool in_universe = true;
+  for (ItemId item : itemset) {
+    if (item >= universe_) {
+      in_universe = false;
+      break;
+    }
+  }
+  if (in_universe && !items_.empty() && CoveredInternally(BitsOf(itemset))) {
+    return true;
+  }
+  return mfs.CoveredBy(itemset);
+}
+
+}  // namespace pincer

@@ -1,0 +1,89 @@
+// The maximum frequent candidate set (MFCS) — the paper's central data
+// structure (Definition 1) — and the MFCS-gen update algorithm (§3.2).
+//
+// The MFCS is the minimum-cardinality set of itemsets whose subsets cover
+// every known-frequent itemset while containing no known-infrequent itemset.
+// This class holds the *unclassified* elements (those whose support is not
+// yet known); elements proven frequent migrate to the Mfs, so that at any
+// point the paper's MFCS equals {unclassified elements} ∪ {MFS elements}.
+//
+// MFCS-gen performs millions of subset tests on long itemsets per pass, so
+// every element carries a uniformly-sized bitset over the item universe and
+// tests run word-wise.
+
+#ifndef PINCER_CORE_MFCS_H_
+#define PINCER_CORE_MFCS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mfs.h"
+#include "itemset/dynamic_bitset.h"
+#include "itemset/itemset.h"
+
+namespace pincer {
+
+/// Unclassified portion of the maximum frequent candidate set. Elements are
+/// pairwise incomparable by construction.
+class Mfcs {
+ public:
+  /// Initializes with the single itemset {0, ..., num_items-1} — "the
+  /// itemset of cardinality n containing all the elements of the database"
+  /// (§3.1).
+  explicit Mfcs(size_t num_items);
+
+  /// Initializes with arbitrary seed elements (used by tests). The item
+  /// universe is sized to the largest item id present.
+  explicit Mfcs(const std::vector<Itemset>& elements);
+
+  /// The MFCS-gen algorithm: for each infrequent itemset s, every element m
+  /// with s ⊆ m is replaced by the |s| itemsets m \ {e} (e ∈ s), each kept
+  /// only if it is not covered by another element of MFCS or by an element
+  /// of `mfs` (the frequent elements that migrated out). Infrequent
+  /// itemsets are processed sequentially, so cascades within one batch are
+  /// handled. Empty replacement itemsets are discarded.
+  ///
+  /// `max_elements` bounds the fragmentation and `max_scan_steps` bounds the
+  /// total work (element visits across all infrequent itemsets); 0 means
+  /// unlimited. If either bound is exceeded mid-update, the update stops and
+  /// returns false — the adaptive variant's signal (§3.5) that MFCS
+  /// maintenance has become counterproductive (the work bound captures the
+  /// paper's "many 2-itemsets but only a few of them frequent" case, where
+  /// the infrequent batch itself is enormous). The set is then in a valid
+  /// but incomplete state and must be discarded by the caller.
+  bool Update(const std::vector<Itemset>& infrequent, const Mfs& mfs,
+              size_t max_elements = 0, size_t max_scan_steps = 0);
+
+  /// Drops every element (used when MFCS maintenance is abandoned).
+  void Clear();
+
+  /// Removes one element (used when it is classified frequent and moves to
+  /// the MFS). Returns true if it was present.
+  bool Remove(const Itemset& itemset);
+
+  /// True if `itemset` is a subset of some element or of some element of
+  /// `mfs`.
+  bool Covers(const Itemset& itemset, const Mfs& mfs) const;
+
+  /// Snapshot of the current elements.
+  std::vector<Itemset> elements() const { return items_; }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  DynamicBitset BitsOf(const Itemset& itemset) const;
+
+  // True if some element's bitset is a superset of `bits`.
+  bool CoveredInternally(const DynamicBitset& bits) const;
+
+  size_t universe_;
+  // Parallel arrays: items_[j] is the sorted form, bits_[j] the bitset form
+  // (size universe_) of element j.
+  std::vector<Itemset> items_;
+  std::vector<DynamicBitset> bits_;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_CORE_MFCS_H_

@@ -1,0 +1,66 @@
+#include "core/mfs.h"
+
+#include <algorithm>
+
+namespace pincer {
+
+namespace {
+
+DynamicBitset BitsOf(const Itemset& itemset) {
+  const size_t universe =
+      itemset.empty() ? 0 : static_cast<size_t>(itemset[itemset.size() - 1]) + 1;
+  DynamicBitset bits(universe);
+  for (ItemId item : itemset) bits.Set(item);
+  return bits;
+}
+
+}  // namespace
+
+bool Mfs::ElementContains(size_t j, const Itemset& itemset) const {
+  if (itemset.size() > elements_[j].itemset.size()) return false;
+  const DynamicBitset& bits = bits_[j];
+  for (ItemId item : itemset) {
+    if (item >= bits.size() || !bits.Test(item)) return false;
+  }
+  return true;
+}
+
+bool Mfs::Add(const Itemset& itemset, uint64_t support) {
+  for (size_t j = 0; j < elements_.size(); ++j) {
+    if (ElementContains(j, itemset)) return false;
+  }
+  // Evict existing elements subsumed by the newcomer.
+  size_t write = 0;
+  for (size_t j = 0; j < elements_.size(); ++j) {
+    if (!elements_[j].itemset.IsSubsetOf(itemset)) {
+      if (write != j) {
+        elements_[write] = std::move(elements_[j]);
+        bits_[write] = std::move(bits_[j]);
+      }
+      ++write;
+    }
+  }
+  elements_.resize(write);
+  bits_.resize(write);
+
+  bits_.push_back(BitsOf(itemset));
+  elements_.push_back({itemset, support});
+  return true;
+}
+
+bool Mfs::CoveredBy(const Itemset& itemset) const {
+  for (size_t j = 0; j < elements_.size(); ++j) {
+    if (ElementContains(j, itemset)) return true;
+  }
+  return false;
+}
+
+std::vector<Itemset> Mfs::Itemsets() const { return ItemsetsOf(elements_); }
+
+std::vector<FrequentItemset> Mfs::Sorted() const {
+  std::vector<FrequentItemset> sorted = elements_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace pincer

@@ -1,0 +1,59 @@
+// The maximum frequent set (MFS): the algorithm's output container,
+// maintaining the set of maximal frequent itemsets discovered so far
+// together with their supports.
+
+#ifndef PINCER_CORE_MFS_H_
+#define PINCER_CORE_MFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "itemset/dynamic_bitset.h"
+#include "itemset/itemset.h"
+#include "mining/frequent_itemset.h"
+
+namespace pincer {
+
+/// A collection of pairwise-incomparable frequent itemsets. Insertion
+/// preserves the maximality invariant: adding a subset of an existing
+/// element is a no-op, and adding a superset evicts the subsumed elements.
+///
+/// Coverage queries are the hot path of the new prune procedure and of
+/// MFCS-gen, so each element carries a bitset over its items and CoveredBy
+/// runs in O(|query|) bit probes per element.
+class Mfs {
+ public:
+  Mfs() = default;
+
+  /// Adds a frequent itemset. Returns true if the element was inserted
+  /// (i.e., it was not subsumed by an existing element).
+  bool Add(const Itemset& itemset, uint64_t support);
+
+  /// True if `itemset` is a subset of some element — the pruning test of the
+  /// new prune procedure and of line 8 of the main algorithm ("subsets of
+  /// itemsets in MFS").
+  bool CoveredBy(const Itemset& itemset) const;
+
+  size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+
+  const std::vector<FrequentItemset>& elements() const { return elements_; }
+
+  /// Bare itemsets of all elements (used by the recovery procedure).
+  std::vector<Itemset> Itemsets() const;
+
+  /// Elements sorted lexicographically — the final MFS output.
+  std::vector<FrequentItemset> Sorted() const;
+
+ private:
+  // Bit i of bits_[j] is set iff item i is in elements_[j] (bitsets are
+  // sized to each element's own max item; probe with Contains()).
+  bool ElementContains(size_t j, const Itemset& itemset) const;
+
+  std::vector<FrequentItemset> elements_;
+  std::vector<DynamicBitset> bits_;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_CORE_MFS_H_

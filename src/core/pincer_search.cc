@@ -1,0 +1,558 @@
+#include "core/pincer_search.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+#include "apriori/apriori_gen.h"
+#include "core/candidate_gen.h"
+#include "core/mfcs.h"
+#include "core/mfs.h"
+#include "itemset/itemset_ops.h"
+#include "counting/array_counters.h"
+#include "counting/counter_factory.h"
+#include "itemset/itemset_set.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace pincer {
+
+bool MaximalSetResult::IsFrequent(const Itemset& itemset) const {
+  for (const FrequentItemset& element : mfs) {
+    if (itemset.IsSubsetOf(element.itemset)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Driver state for one mining run. The pass structure follows the paper's
+// main loop (§3.5) with the deviations documented in DESIGN.md: support
+// caching, cache-driven MFCS classification, and the generalized
+// termination condition.
+class PincerDriver {
+ public:
+  PincerDriver(const TransactionDatabase& db, const MiningOptions& options)
+      : db_(db),
+        options_(options),
+        min_count_(db.MinSupportCount(options.min_support)),
+        counter_(CreateCounter(options.backend, db)),
+        mfcs_(db.num_items()) {}
+
+  MaximalSetResult Run();
+
+ private:
+  using SupportCache = std::unordered_map<Itemset, uint64_t, ItemsetHash>;
+
+  // Pass 1: counts all 1-itemsets (array fast path or generic backend) plus
+  // the initial MFCS element. Produces L_1.
+  std::vector<Itemset> PassOne();
+
+  // Pass 2: counts all pairs of frequent items not covered by the MFS (2-D
+  // triangular array fast path or generic backend) plus unclassified MFCS
+  // elements. Produces L_2.
+  std::vector<Itemset> PassTwo(const std::vector<ItemId>& frequent_items);
+
+  // Pass k >= 3 over an explicit candidate list. Produces L_k.
+  std::vector<Itemset> PassK(size_t k, const std::vector<Itemset>& candidates);
+
+  // Counts the unclassified MFCS elements with the generic backend (their
+  // lengths vary, so the array fast paths never apply), classifies them,
+  // and feeds infrequent ones to MFCS-gen. `pass` gets the accounting.
+  void CountAndClassifyMfcs(PassStats& pass);
+
+  // Classifies MFCS elements whose supports are already cached: frequent
+  // elements migrate to the MFS, infrequent ones are split further. Repeats
+  // until no unclassified element has a cached support.
+  void ResolveMfcsFromCache();
+
+  // Applies MFCS-gen and re-resolves; then enforces the adaptive caps.
+  // `pass_frequent_count` is how many candidates this pass found frequent —
+  // the signal of §3.5's adaptive rule: an infrequent batch that dwarfs the
+  // frequent set fragments the MFCS without yielding early maximal
+  // itemsets, so maintenance is abandoned before paying for the update.
+  void UpdateMfcs(const std::vector<Itemset>& infrequent, size_t pass_number,
+                  size_t pass_frequent_count = SIZE_MAX);
+
+  // Adaptive policy trigger (§3.5): abandon MFCS maintenance for the rest
+  // of the run. Maximality is recovered at the end from the bottom-up log.
+  void DisableMfcs(size_t pass_number);
+
+  // §3.5 adaptive pre-check ("many 2-itemsets but only a few of them
+  // frequent"): a huge infrequent batch relative to the frequent yield
+  // cannot pay for itself. Only active in adaptive mode. Callers may
+  // consult it *before* materializing the infrequent batch.
+  bool ShouldDisableForBatch(size_t num_infrequent,
+                             size_t num_frequent) const {
+    return options_.mfcs_cardinality_limit > 0 && num_infrequent > 20000 &&
+           num_frequent != SIZE_MAX &&
+           num_infrequent / 20 > std::max<size_t>(num_frequent, 1);
+  }
+
+  // After the adaptive switch-off the loop degenerates to plain Apriori,
+  // which needs the *complete* L_k — including the known-frequent k-itemsets
+  // that earlier passes removed as subsets of MFS elements (without the
+  // MFCS, an itemset all of whose k-subsets are covered could otherwise
+  // never be generated again). Restores every k-subset of every MFS element
+  // into `lk`. Called once, at the switch-off pass.
+  std::vector<Itemset> AugmentWithMfsSubsets(std::vector<Itemset> lk,
+                                             size_t k) const;
+
+  // True if the adaptive switch-off happened while processing pass
+  // `pass_number`.
+  bool JustDisabled(size_t pass_number) const {
+    return stats_.mfcs_disabled &&
+           stats_.mfcs_disabled_at_pass == pass_number;
+  }
+
+  // Records a counted itemset in the cache and, if frequent, in the
+  // bottom-up frequent log.
+  void RecordCount(const Itemset& itemset, uint64_t count, bool covered);
+
+  // Returns the known support of `itemset`, consulting the pass-1 array,
+  // the pass-2 triangular matrix, and the explicit cache. nullopt if the
+  // itemset was never counted.
+  std::optional<uint64_t> LookupSupport(const Itemset& itemset) const;
+
+  bool IsFrequentCount(uint64_t count) const { return count >= min_count_; }
+
+  const TransactionDatabase& db_;
+  const MiningOptions& options_;
+  const uint64_t min_count_;
+  std::unique_ptr<SupportCounter> counter_;
+
+  Mfcs mfcs_;
+  Mfs mfs_;
+  bool maintain_mfcs_ = true;
+  // Pass currently being processed (for DisableMfcs attribution from the
+  // cache-resolution path).
+  size_t current_pass_ = 1;
+  // Known supports. Sizes 1 and 2 live in the pass-1 array and the pass-2
+  // triangular matrix (cheap, no per-itemset allocation); everything else in
+  // the hash cache. LookupSupport() consults all three.
+  SupportCache cache_;
+  std::vector<uint64_t> singleton_counts_;
+  std::optional<PairCountMatrix> pair_matrix_;
+  // Frequent itemsets discovered bottom-up (not covered by the MFS at the
+  // time of discovery). Used for the final maximality merge, which is what
+  // makes the adaptive variant correct after MFCS maintenance stops.
+  std::vector<FrequentItemset> bottom_up_frequent_;
+  MiningStats stats_;
+};
+
+void PincerDriver::RecordCount(const Itemset& itemset, uint64_t count,
+                               bool covered) {
+  cache_.emplace(itemset, count);
+  if (!covered && IsFrequentCount(count)) {
+    bottom_up_frequent_.push_back({itemset, count});
+  }
+}
+
+std::optional<uint64_t> PincerDriver::LookupSupport(
+    const Itemset& itemset) const {
+  if (itemset.size() == 1 && itemset[0] < singleton_counts_.size()) {
+    return singleton_counts_[itemset[0]];
+  }
+  if (itemset.size() == 2 && pair_matrix_.has_value()) {
+    if (std::optional<uint64_t> count =
+            pair_matrix_->TryPairCount(itemset[0], itemset[1])) {
+      return count;
+    }
+  }
+  auto it = cache_.find(itemset);
+  if (it != cache_.end()) return it->second;
+  return std::nullopt;
+}
+
+void PincerDriver::ResolveMfcsFromCache() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<std::pair<Itemset, uint64_t>> known_frequent;
+    std::vector<Itemset> known_infrequent;
+    for (const Itemset& element : mfcs_.elements()) {
+      const std::optional<uint64_t> count = LookupSupport(element);
+      if (!count.has_value()) continue;
+      if (IsFrequentCount(*count)) {
+        known_frequent.emplace_back(element, *count);
+      } else {
+        known_infrequent.push_back(element);
+      }
+    }
+    for (const auto& [element, count] : known_frequent) {
+      mfcs_.Remove(element);
+      mfs_.Add(element, count);
+    }
+    if (!known_infrequent.empty()) {
+      // Update removes each infrequent element itself (it is its own
+      // superset) and replaces it with its one-item-removed subsets — the
+      // top-down descent.
+      if (!mfcs_.Update(known_infrequent, mfs_,
+                        options_.mfcs_cardinality_limit,
+                        options_.mfcs_work_limit)) {
+        DisableMfcs(current_pass_);
+        return;
+      }
+      changed = true;  // splitting may have produced cache-known elements
+    }
+  }
+}
+
+void PincerDriver::DisableMfcs(size_t pass_number) {
+  maintain_mfcs_ = false;
+  stats_.mfcs_disabled = true;
+  stats_.mfcs_disabled_at_pass = pass_number;
+  mfcs_.Clear();
+  if (options_.verbose) {
+    PINCER_LOG(kInfo) << "pincer: MFCS cap exceeded at pass " << pass_number
+                      << "; switching to bottom-up only";
+  }
+}
+
+std::vector<Itemset> PincerDriver::AugmentWithMfsSubsets(
+    std::vector<Itemset> lk, size_t k) const {
+  ItemsetSet seen(lk);
+  for (const FrequentItemset& element : mfs_.elements()) {
+    if (element.itemset.size() < k) continue;
+    for (Itemset& subset : element.itemset.SubsetsOfSize(k)) {
+      if (seen.Insert(subset)) lk.push_back(std::move(subset));
+    }
+  }
+  SortLexicographically(lk);
+  return lk;
+}
+
+void PincerDriver::UpdateMfcs(const std::vector<Itemset>& infrequent,
+                              size_t pass_number,
+                              size_t pass_frequent_count) {
+  if (!maintain_mfcs_) return;
+  current_pass_ = pass_number;
+  if (ShouldDisableForBatch(infrequent.size(), pass_frequent_count)) {
+    DisableMfcs(pass_number);
+    return;
+  }
+  if (!infrequent.empty()) {
+    // The bound is enforced *inside* MFCS-gen: a single pathological update
+    // can otherwise fragment the set arbitrarily before any outside check
+    // runs.
+    if (!mfcs_.Update(infrequent, mfs_, options_.mfcs_cardinality_limit,
+                      options_.mfcs_work_limit)) {
+      DisableMfcs(pass_number);
+      return;
+    }
+    ResolveMfcsFromCache();
+    if (!maintain_mfcs_) return;
+  }
+  if (options_.mfcs_cardinality_limit > 0 &&
+      mfcs_.size() > options_.mfcs_cardinality_limit) {
+    DisableMfcs(pass_number);
+  }
+}
+
+void PincerDriver::CountAndClassifyMfcs(PassStats& pass) {
+  if (!maintain_mfcs_) return;
+  // Everything cache-known was classified by ResolveMfcsFromCache, so all
+  // remaining elements genuinely need counting.
+  std::vector<Itemset> elements = mfcs_.elements();
+  if (elements.empty()) return;
+
+  pass.num_mfcs_candidates = elements.size();
+  stats_.mfcs_candidates += elements.size();
+  stats_.reported_candidates += elements.size();
+  stats_.total_candidates += elements.size();
+
+  const std::vector<uint64_t> counts = counter_->CountSupports(elements);
+  std::vector<Itemset> infrequent;
+  for (size_t i = 0; i < elements.size(); ++i) {
+    cache_.emplace(elements[i], counts[i]);
+    if (IsFrequentCount(counts[i])) {
+      mfcs_.Remove(elements[i]);
+      if (mfs_.Add(elements[i], counts[i])) ++pass.num_mfs_found;
+    } else {
+      infrequent.push_back(elements[i]);
+    }
+  }
+  // Infrequent elements stay in the set: MFCS-gen matches each as its own
+  // superset and replaces it with its one-item-removed subsets.
+  UpdateMfcs(infrequent, pass.pass);
+}
+
+std::vector<Itemset> PincerDriver::PassOne() {
+  ++stats_.passes;
+  PassStats pass;
+  pass.pass = 1;
+  pass.num_candidates = db_.num_items();
+  stats_.total_candidates += db_.num_items();
+
+  if (options_.use_array_fast_path) {
+    singleton_counts_ = CountSingletons(db_);
+  } else {
+    std::vector<Itemset> singles;
+    singles.reserve(db_.num_items());
+    for (ItemId item = 0; item < db_.num_items(); ++item) {
+      singles.push_back(Itemset{item});
+    }
+    singleton_counts_ = counter_->CountSupports(singles);
+  }
+
+  std::vector<Itemset> infrequent;
+  std::vector<Itemset> frequent;
+  for (ItemId item = 0; item < db_.num_items(); ++item) {
+    const Itemset single{item};
+    if (IsFrequentCount(singleton_counts_[item])) {
+      frequent.push_back(single);
+      bottom_up_frequent_.push_back({single, singleton_counts_[item]});
+    } else {
+      infrequent.push_back(single);
+    }
+  }
+  pass.num_frequent = frequent.size();
+  const size_t num_frequent_items = frequent.size();
+
+  // Count the MFCS (initially the full itemset) in the same pass, as the
+  // paper's line 6 does, then fold the infrequent singletons into MFCS-gen.
+  CountAndClassifyMfcs(pass);
+  UpdateMfcs(infrequent, 1, pass.num_frequent);
+
+  // L_1 := frequent 1-itemsets minus subsets of MFS elements (line 8) — or,
+  // after an adaptive switch-off, the complete frequent 1-set.
+  std::vector<Itemset> l1;
+  if (maintain_mfcs_) {
+    for (const Itemset& single : frequent) {
+      if (!mfs_.CoveredBy(single)) l1.push_back(single);
+    }
+  } else {
+    l1 = AugmentWithMfsSubsets(std::move(frequent), 1);
+  }
+  pass.mfcs_size_after = mfcs_.size();
+  stats_.per_pass.push_back(pass);
+  if (options_.verbose) {
+    PINCER_LOG(kInfo) << "pincer pass 1: " << num_frequent_items << "/"
+                      << db_.num_items() << " items frequent, |MFCS|="
+                      << mfcs_.size() << ", |MFS|=" << mfs_.size();
+  }
+  return l1;
+}
+
+std::vector<Itemset> PincerDriver::PassTwo(
+    const std::vector<ItemId>& frequent_items) {
+  ++stats_.passes;
+  PassStats pass;
+  pass.pass = 2;
+
+  // C_2 is conceptually every pair of frequent items not already covered by
+  // an MFS element (§4.1.1: the 2-D array makes explicit generation
+  // unnecessary). In practice the MFS is empty here unless the run already
+  // terminated in pass 1, but covered pairs are skipped for correctness
+  // with unusual inputs.
+  std::vector<Itemset> infrequent;
+  std::vector<Itemset> l2;
+  auto classify_pair = [&](const ItemId a, const ItemId b, uint64_t count,
+                           bool cache_count) {
+    const Itemset pair{a, b};
+    // After an adaptive switch-off the loop is plain Apriori: covered pairs
+    // are ordinary frequent itemsets again.
+    const bool covered = maintain_mfcs_ && mfs_.CoveredBy(pair);
+    if (cache_count) {
+      cache_.emplace(pair, count);
+    }
+    if (covered) return;
+    if (IsFrequentCount(count)) {
+      bottom_up_frequent_.push_back({pair, count});
+      l2.push_back(pair);
+      ++pass.num_frequent;
+    } else if (maintain_mfcs_) {
+      // Only the MFCS update consumes infrequent pairs; skip materializing
+      // them once maintenance is off.
+      infrequent.push_back(pair);
+    }
+  };
+
+  // Apply the §3.5 batch pre-check before materializing a potentially huge
+  // infrequent-pair list (an allocation per pair).
+  auto precheck_batch = [&](size_t num_frequent_pairs,
+                            size_t num_infrequent_pairs) {
+    if (maintain_mfcs_ &&
+        ShouldDisableForBatch(num_infrequent_pairs, num_frequent_pairs)) {
+      DisableMfcs(2);
+    }
+  };
+
+  if (options_.use_array_fast_path && frequent_items.size() >= 2) {
+    pair_matrix_.emplace(frequent_items);
+    pair_matrix_->CountDatabase(db_);
+    {
+      size_t num_frequent_pairs = 0;
+      size_t num_infrequent_pairs = 0;
+      for (size_t i = 0; i < frequent_items.size(); ++i) {
+        for (size_t j = i + 1; j < frequent_items.size(); ++j) {
+          if (IsFrequentCount(pair_matrix_->PairCount(frequent_items[i],
+                                                      frequent_items[j]))) {
+            ++num_frequent_pairs;
+          } else {
+            ++num_infrequent_pairs;
+          }
+        }
+      }
+      precheck_batch(num_frequent_pairs, num_infrequent_pairs);
+    }
+    for (size_t i = 0; i < frequent_items.size(); ++i) {
+      for (size_t j = i + 1; j < frequent_items.size(); ++j) {
+        // Counts of size-2 itemsets stay in the matrix; no cache entry.
+        classify_pair(frequent_items[i], frequent_items[j],
+                      pair_matrix_->PairCount(frequent_items[i],
+                                              frequent_items[j]),
+                      /*cache_count=*/false);
+      }
+    }
+  } else if (frequent_items.size() >= 2) {
+    std::vector<Itemset> pairs;
+    for (size_t i = 0; i < frequent_items.size(); ++i) {
+      for (size_t j = i + 1; j < frequent_items.size(); ++j) {
+        pairs.push_back(Itemset{frequent_items[i], frequent_items[j]});
+      }
+    }
+    const std::vector<uint64_t> counts = counter_->CountSupports(pairs);
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      classify_pair(pairs[i][0], pairs[i][1], counts[i], /*cache_count=*/true);
+    }
+  }
+  const size_t num_pairs =
+      frequent_items.size() < 2
+          ? 0
+          : frequent_items.size() * (frequent_items.size() - 1) / 2;
+  pass.num_candidates = num_pairs;
+  stats_.total_candidates += num_pairs;
+
+  CountAndClassifyMfcs(pass);
+  UpdateMfcs(infrequent, 2, pass.num_frequent);
+
+  // Re-apply line 8 with the MFS as updated this pass — or rebuild the
+  // complete L_2 if the adaptive policy switched off during this pass.
+
+  if (maintain_mfcs_) {
+    l2.erase(std::remove_if(l2.begin(), l2.end(),
+                            [this](const Itemset& pair) {
+                              return mfs_.CoveredBy(pair);
+                            }),
+             l2.end());
+  } else if (JustDisabled(2)) {
+    l2 = AugmentWithMfsSubsets(std::move(l2), 2);
+  }
+
+  pass.mfcs_size_after = mfcs_.size();
+  stats_.per_pass.push_back(pass);
+  if (options_.verbose) {
+    PINCER_LOG(kInfo) << "pincer pass 2: " << l2.size() << "/"
+                      << num_pairs << " pairs frequent, |MFCS|="
+                      << mfcs_.size() << ", |MFS|=" << mfs_.size();
+  }
+  return l2;
+}
+
+std::vector<Itemset> PincerDriver::PassK(size_t k,
+                                         const std::vector<Itemset>& candidates) {
+  ++stats_.passes;
+  PassStats pass;
+  pass.pass = k;
+  pass.num_candidates = candidates.size();
+  stats_.total_candidates += candidates.size();
+  stats_.reported_candidates += candidates.size();
+
+  std::vector<Itemset> lk;
+  std::vector<Itemset> infrequent;
+  if (!candidates.empty()) {
+    const std::vector<uint64_t> counts = counter_->CountSupports(candidates);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      RecordCount(candidates[i], counts[i], /*covered=*/false);
+      if (IsFrequentCount(counts[i])) {
+        lk.push_back(candidates[i]);
+        ++pass.num_frequent;
+      } else {
+        infrequent.push_back(candidates[i]);
+      }
+    }
+  }
+
+  CountAndClassifyMfcs(pass);
+  UpdateMfcs(infrequent, k, pass.num_frequent);
+
+  // Line 8: remove subsets of MFS elements found this pass — or rebuild the
+  // complete L_k if the adaptive policy switched off during this pass.
+  if (maintain_mfcs_) {
+    lk.erase(std::remove_if(
+                 lk.begin(), lk.end(),
+                 [this](const Itemset& c) { return mfs_.CoveredBy(c); }),
+             lk.end());
+  } else if (JustDisabled(k)) {
+    lk = AugmentWithMfsSubsets(std::move(lk), k);
+  }
+
+  pass.mfcs_size_after = mfcs_.size();
+  stats_.per_pass.push_back(pass);
+  if (options_.verbose) {
+    PINCER_LOG(kInfo) << "pincer pass " << k << ": " << pass.num_frequent
+                      << "/" << candidates.size() << " candidates frequent, "
+                      << "|MFCS|=" << mfcs_.size() << ", |MFS|="
+                      << mfs_.size();
+  }
+  return lk;
+}
+
+MaximalSetResult PincerDriver::Run() {
+  Timer timer;
+
+  std::vector<Itemset> l1 = PassOne();
+  std::vector<ItemId> frequent_items;
+  frequent_items.reserve(l1.size());
+  for (const Itemset& single : l1) frequent_items.push_back(single[0]);
+
+  std::vector<Itemset> lk;
+  if (frequent_items.size() >= 2 || (maintain_mfcs_ && !mfcs_.empty())) {
+    lk = PassTwo(frequent_items);
+  }
+
+  size_t k = 3;
+  // Generalized termination (DESIGN.md item 3): continue while there are
+  // bottom-up candidates or live MFCS elements to classify.
+  const size_t max_passes = db_.num_items() + 2;
+  while (k <= max_passes) {
+    // With a live MFCS, generation is join + recovery + new prune; after
+    // the adaptive switch-off it is plain Apriori-gen over the complete L_k.
+    std::vector<Itemset> candidates =
+        maintain_mfcs_ ? PincerCandidateGen(lk, mfs_) : AprioriGen(lk);
+    if (candidates.empty() && (!maintain_mfcs_ || mfcs_.empty())) break;
+    // Ordered after the termination test so a completed run is never
+    // misreported as aborted.
+    if (options_.time_budget_ms > 0 &&
+        timer.ElapsedMillis() > options_.time_budget_ms) {
+      stats_.aborted = true;
+      break;
+    }
+    lk = PassK(k, candidates);
+    ++k;
+  }
+
+  // Final maximality merge: in the pure algorithm this is a no-op (the MFS
+  // is already complete — property-tested); after an adaptive switch-off it
+  // recovers maximal itemsets that only the bottom-up direction saw.
+  for (const FrequentItemset& fi : bottom_up_frequent_) {
+    if (!mfs_.CoveredBy(fi.itemset)) mfs_.Add(fi.itemset, fi.support);
+  }
+
+  MaximalSetResult result;
+  result.mfs = mfs_.Sorted();
+  result.stats = std::move(stats_);
+  result.stats.elapsed_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace
+
+MaximalSetResult PincerSearch(const TransactionDatabase& db,
+                              const MiningOptions& options) {
+  PincerDriver driver(db, options);
+  return driver.Run();
+}
+
+}  // namespace pincer

@@ -1,0 +1,42 @@
+// The Pincer-Search algorithm (§3.5): a combined bottom-up / top-down search
+// for the maximum frequent set. The bottom-up direction is Apriori-style;
+// the top-down direction maintains the MFCS, whose elements are counted
+// alongside each pass's candidates. Frequent MFCS elements become maximal
+// frequent itemsets immediately, letting the algorithm skip counting their
+// exponentially many subsets.
+
+#ifndef PINCER_CORE_PINCER_SEARCH_H_
+#define PINCER_CORE_PINCER_SEARCH_H_
+
+#include <vector>
+
+#include "data/database.h"
+#include "mining/frequent_itemset.h"
+#include "mining/mining_stats.h"
+#include "mining/options.h"
+
+namespace pincer {
+
+/// Output of a maximal-set mining run.
+struct MaximalSetResult {
+  /// The maximum frequent set: every maximal frequent itemset with its
+  /// support, sorted lexicographically. An itemset is frequent iff it is a
+  /// subset of one of these.
+  std::vector<FrequentItemset> mfs;
+  MiningStats stats;
+
+  /// True if `itemset` is frequent according to this result (i.e., covered
+  /// by some MFS element).
+  bool IsFrequent(const Itemset& itemset) const;
+};
+
+/// Runs Pincer-Search over `db`. options.mfcs_cardinality_limit == 0 gives
+/// the pure algorithm; a positive limit gives the adaptive variant the paper
+/// evaluates (§3.5, last paragraph), which abandons MFCS maintenance if it
+/// grows past the limit and extracts maximality bottom-up instead.
+MaximalSetResult PincerSearch(const TransactionDatabase& db,
+                              const MiningOptions& options);
+
+}  // namespace pincer
+
+#endif  // PINCER_CORE_PINCER_SEARCH_H_

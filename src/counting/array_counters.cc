@@ -1,0 +1,70 @@
+#include "counting/array_counters.h"
+
+#include <cassert>
+
+namespace pincer {
+
+std::vector<uint64_t> CountSingletons(const TransactionDatabase& db) {
+  std::vector<uint64_t> counts(db.num_items(), 0);
+  for (const Transaction& transaction : db.transactions()) {
+    for (ItemId item : transaction) ++counts[item];
+  }
+  return counts;
+}
+
+PairCountMatrix::PairCountMatrix(std::vector<ItemId> frequent_items)
+    : items_(std::move(frequent_items)) {
+  size_t max_item = 0;
+  for (ItemId item : items_) max_item = std::max<size_t>(max_item, item);
+  rank_of_.assign(items_.empty() ? 0 : max_item + 1, SIZE_MAX);
+  for (size_t rank = 0; rank < items_.size(); ++rank) {
+    rank_of_[items_[rank]] = rank;
+  }
+  const size_t n = items_.size();
+  counts_.assign(n * (n - 1) / 2 + (n == 0 ? 0 : 0), 0);
+  counts_.resize(n < 2 ? 0 : n * (n - 1) / 2, 0);
+}
+
+size_t PairCountMatrix::TriIndex(size_t r1, size_t r2) const {
+  assert(r1 < r2);
+  const size_t n = items_.size();
+  // Row-major packed upper triangle: row r1 starts after
+  // sum_{i<r1} (n-1-i) entries.
+  return r1 * (n - 1) - r1 * (r1 - 1) / 2 + (r2 - r1 - 1);
+}
+
+void PairCountMatrix::CountDatabase(const TransactionDatabase& db) {
+  std::vector<size_t> ranks;
+  for (const Transaction& transaction : db.transactions()) {
+    ranks.clear();
+    for (ItemId item : transaction) {
+      if (item < rank_of_.size() && rank_of_[item] != SIZE_MAX) {
+        ranks.push_back(rank_of_[item]);
+      }
+    }
+    // Transaction items are sorted by id; ranks are sorted too because the
+    // rank mapping is monotone in item id.
+    for (size_t i = 0; i < ranks.size(); ++i) {
+      for (size_t j = i + 1; j < ranks.size(); ++j) {
+        ++counts_[TriIndex(ranks[i], ranks[j])];
+      }
+    }
+  }
+}
+
+std::optional<uint64_t> PairCountMatrix::TryPairCount(ItemId a, ItemId b) const {
+  if (a == b) return std::nullopt;
+  if (a >= rank_of_.size() || b >= rank_of_.size()) return std::nullopt;
+  if (rank_of_[a] == SIZE_MAX || rank_of_[b] == SIZE_MAX) return std::nullopt;
+  return PairCount(a, b);
+}
+
+uint64_t PairCountMatrix::PairCount(ItemId a, ItemId b) const {
+  assert(a != b);
+  const size_t ra = rank_of_[a];
+  const size_t rb = rank_of_[b];
+  assert(ra != SIZE_MAX && rb != SIZE_MAX);
+  return counts_[ra < rb ? TriIndex(ra, rb) : TriIndex(rb, ra)];
+}
+
+}  // namespace pincer

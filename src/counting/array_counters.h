@@ -1,0 +1,56 @@
+// Array-based fast paths for the first two passes, following Özden et al. as
+// adopted in the paper (§4.1.1): a one-dimensional array counts 1-itemsets
+// and a triangular two-dimensional array counts all 2-itemsets over the
+// frequent items, with no candidate generation and no searching.
+
+#ifndef PINCER_COUNTING_ARRAY_COUNTERS_H_
+#define PINCER_COUNTING_ARRAY_COUNTERS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "data/database.h"
+#include "itemset/item.h"
+
+namespace pincer {
+
+/// Counts the support of every item id in one scan (pass 1). Result is
+/// indexed by item id.
+std::vector<uint64_t> CountSingletons(const TransactionDatabase& db);
+
+/// Triangular pair-count matrix over a set of frequent items (pass 2). Item
+/// ids are first remapped to dense ranks; only pairs of frequent items are
+/// counted, mirroring the 2-D array of §4.1.1.
+class PairCountMatrix {
+ public:
+  /// `frequent_items` must be strictly increasing item ids.
+  explicit PairCountMatrix(std::vector<ItemId> frequent_items);
+
+  /// One scan over the database, counting every frequent-item pair inside
+  /// each transaction.
+  void CountDatabase(const TransactionDatabase& db);
+
+  /// Support count of the pair {a, b}. Both must be frequent items given at
+  /// construction; a != b.
+  uint64_t PairCount(ItemId a, ItemId b) const;
+
+  /// PairCount that tolerates non-indexed items: returns nullopt when either
+  /// item was not in the frequent list.
+  std::optional<uint64_t> TryPairCount(ItemId a, ItemId b) const;
+
+  const std::vector<ItemId>& frequent_items() const { return items_; }
+
+ private:
+  // Index into the packed upper triangle for ranks r1 < r2.
+  size_t TriIndex(size_t r1, size_t r2) const;
+
+  std::vector<ItemId> items_;
+  // rank_of_[item] = dense rank, or SIZE_MAX for non-frequent items.
+  std::vector<size_t> rank_of_;
+  std::vector<uint64_t> counts_;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_COUNTING_ARRAY_COUNTERS_H_

@@ -1,0 +1,50 @@
+#include "counting/candidate_trie.h"
+
+#include <algorithm>
+
+namespace pincer {
+
+CandidateTrie::Node* CandidateTrie::Node::Child(ItemId item) {
+  auto it = std::lower_bound(
+      children.begin(), children.end(), item,
+      [](const auto& entry, ItemId value) { return entry.first < value; });
+  if (it != children.end() && it->first == item) return it->second.get();
+  it = children.emplace(it, item, std::make_unique<Node>());
+  return it->second.get();
+}
+
+void CandidateTrie::Insert(const Itemset& candidate, size_t external_index) {
+  Node* node = &root_;
+  for (ItemId item : candidate) node = node->Child(item);
+  node->terminals.push_back(external_index);
+}
+
+void CandidateTrie::CountTransaction(const Transaction& transaction,
+                                     std::vector<uint64_t>& counts) const {
+  CountWalk(&root_, transaction, 0, counts);
+}
+
+void CandidateTrie::CountWalk(const Node* node, const Transaction& transaction,
+                              size_t start, std::vector<uint64_t>& counts) {
+  for (size_t index : node->terminals) ++counts[index];
+  if (node->children.empty() || start >= transaction.size()) return;
+
+  // Merge-intersect the sorted children with the sorted transaction tail.
+  size_t t = start;
+  size_t c = 0;
+  while (t < transaction.size() && c < node->children.size()) {
+    const ItemId transaction_item = transaction[t];
+    const ItemId child_item = node->children[c].first;
+    if (transaction_item < child_item) {
+      ++t;
+    } else if (child_item < transaction_item) {
+      ++c;
+    } else {
+      CountWalk(node->children[c].second.get(), transaction, t + 1, counts);
+      ++t;
+      ++c;
+    }
+  }
+}
+
+}  // namespace pincer

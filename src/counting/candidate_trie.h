@@ -1,0 +1,55 @@
+// CandidateTrie: a prefix tree over a batch of candidate itemsets with a
+// per-transaction counting walk. Shared by the in-memory TrieCounter and
+// the disk-streaming counter.
+
+#ifndef PINCER_COUNTING_CANDIDATE_TRIE_H_
+#define PINCER_COUNTING_CANDIDATE_TRIE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/transaction.h"
+#include "itemset/itemset.h"
+
+namespace pincer {
+
+/// Prefix trie over mixed-length candidates. Build once per batch with
+/// Insert(), then call CountTransaction() per database row; each candidate
+/// contained in the row gets counts[its index] incremented exactly once.
+class CandidateTrie {
+ public:
+  CandidateTrie() = default;
+  CandidateTrie(const CandidateTrie&) = delete;
+  CandidateTrie& operator=(const CandidateTrie&) = delete;
+  CandidateTrie(CandidateTrie&&) = default;
+  CandidateTrie& operator=(CandidateTrie&&) = default;
+
+  /// Registers `candidate`; `external_index` is the caller's count slot.
+  /// Duplicate candidates may be registered under distinct indices.
+  void Insert(const Itemset& candidate, size_t external_index);
+
+  /// Counts all registered candidates contained in the sorted `transaction`.
+  void CountTransaction(const Transaction& transaction,
+                        std::vector<uint64_t>& counts) const;
+
+ private:
+  struct Node {
+    // Children sorted by item id, enabling a merge-intersection with the
+    // transaction tail during the counting walk.
+    std::vector<std::pair<ItemId, std::unique_ptr<Node>>> children;
+    // Count slots of candidates ending at this node.
+    std::vector<size_t> terminals;
+
+    Node* Child(ItemId item);
+  };
+
+  static void CountWalk(const Node* node, const Transaction& transaction,
+                        size_t start, std::vector<uint64_t>& counts);
+
+  Node root_;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_COUNTING_CANDIDATE_TRIE_H_

@@ -1,0 +1,50 @@
+#include "counting/counter_factory.h"
+
+#include "counting/hash_tree.h"
+#include "counting/linear_counter.h"
+#include "counting/parallel_counter.h"
+#include "counting/trie_counter.h"
+#include "counting/vertical_counter.h"
+
+namespace pincer {
+
+std::string_view CounterBackendName(CounterBackend backend) {
+  switch (backend) {
+    case CounterBackend::kLinear:
+      return "linear";
+    case CounterBackend::kHashTree:
+      return "hash_tree";
+    case CounterBackend::kTrie:
+      return "trie";
+    case CounterBackend::kVertical:
+      return "vertical";
+    case CounterBackend::kParallel:
+      return "parallel";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<SupportCounter> CreateCounter(CounterBackend backend,
+                                              const TransactionDatabase& db) {
+  switch (backend) {
+    case CounterBackend::kLinear:
+      return std::make_unique<LinearCounter>(db);
+    case CounterBackend::kHashTree:
+      return std::make_unique<HashTreeCounter>(db);
+    case CounterBackend::kTrie:
+      return std::make_unique<TrieCounter>(db);
+    case CounterBackend::kVertical:
+      return std::make_unique<VerticalCounter>(db);
+    case CounterBackend::kParallel:
+      return std::make_unique<ParallelCounter>(db);
+  }
+  return nullptr;
+}
+
+std::vector<CounterBackend> AllCounterBackends() {
+  return {CounterBackend::kLinear, CounterBackend::kHashTree,
+          CounterBackend::kTrie, CounterBackend::kVertical,
+          CounterBackend::kParallel};
+}
+
+}  // namespace pincer

@@ -1,0 +1,23 @@
+// Factory for counting backends.
+
+#ifndef PINCER_COUNTING_COUNTER_FACTORY_H_
+#define PINCER_COUNTING_COUNTER_FACTORY_H_
+
+#include <memory>
+
+#include "counting/support_counter.h"
+#include "data/database.h"
+
+namespace pincer {
+
+/// Creates a counter of the requested backend bound to `db`. The database
+/// must outlive the returned counter.
+std::unique_ptr<SupportCounter> CreateCounter(CounterBackend backend,
+                                              const TransactionDatabase& db);
+
+/// All available backends, for parameterized tests.
+std::vector<CounterBackend> AllCounterBackends();
+
+}  // namespace pincer
+
+#endif  // PINCER_COUNTING_COUNTER_FACTORY_H_

@@ -1,0 +1,132 @@
+#include "counting/hash_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace pincer {
+
+HashTree::HashTree(size_t candidate_size, size_t fanout, size_t leaf_capacity)
+    : candidate_size_(candidate_size),
+      fanout_(fanout),
+      leaf_capacity_(leaf_capacity),
+      root_(std::make_unique<Node>()) {
+  assert(candidate_size_ > 0);
+  assert(fanout_ > 1);
+  assert(leaf_capacity_ > 0);
+}
+
+void HashTree::Insert(const Itemset& candidate, size_t external_index) {
+  assert(candidate.size() == candidate_size_);
+  InsertInto(root_.get(), 0, candidate, external_index);
+}
+
+void HashTree::InsertInto(Node* node, size_t depth, const Itemset& candidate,
+                          size_t external_index) {
+  while (!node->is_leaf) {
+    const size_t slot = Hash(candidate[depth]);
+    if (!node->children[slot]) {
+      node->children[slot] = std::make_unique<Node>();
+    }
+    node = node->children[slot].get();
+    ++depth;
+  }
+  node->entries.emplace_back(candidate, external_index);
+  // Split when over capacity, unless we have exhausted hashable positions
+  // (depth == candidate_size_ means every item already routed; further
+  // splitting is impossible and entries simply accumulate).
+  if (node->entries.size() > leaf_capacity_ && depth < candidate_size_) {
+    SplitLeaf(node, depth);
+  }
+}
+
+void HashTree::SplitLeaf(Node* node, size_t depth) {
+  std::vector<std::pair<Itemset, size_t>> entries = std::move(node->entries);
+  node->entries.clear();
+  node->is_leaf = false;
+  node->children.resize(fanout_);
+  for (auto& [candidate, index] : entries) {
+    const size_t slot = Hash(candidate[depth]);
+    if (!node->children[slot]) {
+      node->children[slot] = std::make_unique<Node>();
+    }
+    // Children start as leaves; recursive splitting happens via InsertInto's
+    // capacity check when re-inserting.
+    InsertInto(node->children[slot].get(), depth + 1, candidate, index);
+  }
+}
+
+void HashTree::CountTransaction(const Transaction& transaction,
+                                std::vector<uint64_t>& counts) {
+  if (transaction.size() < candidate_size_) return;
+  ++current_visit_;
+  CountNode(root_.get(), transaction, 0, 0, counts);
+}
+
+void HashTree::CountNode(Node* node, const Transaction& transaction,
+                         size_t start, size_t depth,
+                         std::vector<uint64_t>& counts) {
+  if (node->is_leaf) {
+    // Several hash paths can reach the same leaf for one transaction;
+    // evaluate it only once (containment is checked against the whole
+    // transaction, so the first visit already counts everything).
+    if (node->visit_stamp == current_visit_) return;
+    node->visit_stamp = current_visit_;
+    for (const auto& [candidate, index] : node->entries) {
+      // The first `depth` items are implied by the path; verify full
+      // containment with a two-pointer walk (both sequences sorted).
+      size_t t = 0;
+      bool contained = true;
+      for (ItemId item : candidate) {
+        while (t < transaction.size() && transaction[t] < item) ++t;
+        if (t == transaction.size() || transaction[t] != item) {
+          contained = false;
+          break;
+        }
+        ++t;
+      }
+      if (contained) ++counts[index];
+    }
+    return;
+  }
+  // Interior: the candidate's item at `depth` can be any remaining
+  // transaction item that still leaves enough items to finish the candidate.
+  const size_t remaining_needed = candidate_size_ - depth;
+  if (transaction.size() < start + remaining_needed) return;
+  const size_t last = transaction.size() - remaining_needed;
+  for (size_t i = start; i <= last; ++i) {
+    Node* child = node->children[Hash(transaction[i])].get();
+    if (child != nullptr) {
+      CountNode(child, transaction, i + 1, depth + 1, counts);
+    }
+  }
+}
+
+HashTreeCounter::HashTreeCounter(const TransactionDatabase& db) : db_(db) {}
+
+std::vector<uint64_t> HashTreeCounter::CountSupports(
+    const std::vector<Itemset>& candidates) {
+  std::vector<uint64_t> counts(candidates.size(), 0);
+
+  // Group candidates by length; one tree per length. The empty itemset (if
+  // ever passed) is supported by every transaction.
+  std::map<size_t, HashTree> trees;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const size_t size = candidates[i].size();
+    if (size == 0) {
+      counts[i] = db_.size();
+      continue;
+    }
+    auto [it, inserted] = trees.try_emplace(size, size);
+    it->second.Insert(candidates[i], i);
+  }
+
+  for (const Transaction& transaction : db_.transactions()) {
+    for (auto& [size, tree] : trees) {
+      tree.CountTransaction(transaction, counts);
+    }
+  }
+  return counts;
+}
+
+}  // namespace pincer

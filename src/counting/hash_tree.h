@@ -1,0 +1,93 @@
+// The classic Apriori hash tree (Agrawal & Srikant, VLDB'94 §2.1.2) for
+// counting fixed-length candidates: interior nodes hash on the item at their
+// depth, leaves hold candidate lists that split when they overflow.
+
+#ifndef PINCER_COUNTING_HASH_TREE_H_
+#define PINCER_COUNTING_HASH_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "counting/support_counter.h"
+#include "data/transaction.h"
+#include "itemset/itemset.h"
+
+namespace pincer {
+
+/// A hash tree over k-itemsets of one uniform length. Candidates are
+/// registered once; CountTransaction() then increments the counts of every
+/// registered candidate contained in the given transaction.
+class HashTree {
+ public:
+  /// Creates a tree for candidates of length `candidate_size`, with interior
+  /// fanout `fanout` and leaves splitting past `leaf_capacity` entries.
+  HashTree(size_t candidate_size, size_t fanout = 16,
+           size_t leaf_capacity = 8);
+
+  HashTree(const HashTree&) = delete;
+  HashTree& operator=(const HashTree&) = delete;
+  HashTree(HashTree&&) = default;
+  HashTree& operator=(HashTree&&) = default;
+
+  /// Registers a candidate; `external_index` is the caller's slot for its
+  /// count. The candidate's size must equal candidate_size.
+  void Insert(const Itemset& candidate, size_t external_index);
+
+  /// For every registered candidate contained in `transaction`, increments
+  /// counts[external_index] exactly once. `transaction` must be sorted.
+  /// Non-const: leaves carry a per-call visit stamp so that a leaf reachable
+  /// through several hash paths is evaluated only once per transaction.
+  void CountTransaction(const Transaction& transaction,
+                        std::vector<uint64_t>& counts);
+
+  size_t candidate_size() const { return candidate_size_; }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    // Leaf payload: (candidate, external index) pairs.
+    std::vector<std::pair<Itemset, size_t>> entries;
+    // Interior payload: children indexed by item hash; null slots allowed.
+    std::vector<std::unique_ptr<Node>> children;
+    // Last CountTransaction call that evaluated this leaf (dedup guard).
+    uint64_t visit_stamp = 0;
+  };
+
+  size_t Hash(ItemId item) const { return item % fanout_; }
+
+  void InsertInto(Node* node, size_t depth, const Itemset& candidate,
+                  size_t external_index);
+  void SplitLeaf(Node* node, size_t depth);
+  void CountNode(Node* node, const Transaction& transaction, size_t start,
+                 size_t depth, std::vector<uint64_t>& counts);
+
+  size_t candidate_size_;
+  size_t fanout_;
+  size_t leaf_capacity_;
+  std::unique_ptr<Node> root_;
+  // Incremented once per CountTransaction call; compared against leaf
+  // visit stamps.
+  uint64_t current_visit_ = 0;
+};
+
+/// SupportCounter backed by hash trees, one per candidate length (the
+/// Pincer loop counts C_k and variable-length MFCS elements together, so a
+/// single call may build several trees).
+class HashTreeCounter : public SupportCounter {
+ public:
+  /// Binds to `db`, which must outlive this counter.
+  explicit HashTreeCounter(const TransactionDatabase& db);
+
+  std::vector<uint64_t> CountSupports(
+      const std::vector<Itemset>& candidates) override;
+
+  CounterBackend backend() const override { return CounterBackend::kHashTree; }
+
+ private:
+  const TransactionDatabase& db_;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_COUNTING_HASH_TREE_H_

@@ -1,0 +1,31 @@
+#include "counting/linear_counter.h"
+
+namespace pincer {
+
+LinearCounter::LinearCounter(const TransactionDatabase& db) : db_(db) {
+  db_.EnsureBitsets();
+}
+
+std::vector<uint64_t> LinearCounter::CountSupports(
+    const std::vector<Itemset>& candidates) {
+  std::vector<uint64_t> counts(candidates.size(), 0);
+  for (size_t tid = 0; tid < db_.size(); ++tid) {
+    const DynamicBitset& bits = db_.transaction_bits(tid);
+    const size_t transaction_size = db_.transaction(tid).size();
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      const Itemset& candidate = candidates[c];
+      if (candidate.size() > transaction_size) continue;
+      bool contained = true;
+      for (ItemId item : candidate) {
+        if (!bits.Test(item)) {
+          contained = false;
+          break;
+        }
+      }
+      if (contained) ++counts[c];
+    }
+  }
+  return counts;
+}
+
+}  // namespace pincer

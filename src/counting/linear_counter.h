@@ -1,0 +1,29 @@
+// Linear-scan counting: per transaction, test every candidate for
+// containment. This is the modern equivalent of the paper's link-list
+// structure (§4.1.1) — no index, fair to both algorithms.
+
+#ifndef PINCER_COUNTING_LINEAR_COUNTER_H_
+#define PINCER_COUNTING_LINEAR_COUNTER_H_
+
+#include "counting/support_counter.h"
+
+namespace pincer {
+
+/// O(|D| * |C| * k) counting via per-transaction bitset membership tests.
+class LinearCounter : public SupportCounter {
+ public:
+  /// Binds to `db`, which must outlive this counter.
+  explicit LinearCounter(const TransactionDatabase& db);
+
+  std::vector<uint64_t> CountSupports(
+      const std::vector<Itemset>& candidates) override;
+
+  CounterBackend backend() const override { return CounterBackend::kLinear; }
+
+ private:
+  const TransactionDatabase& db_;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_COUNTING_LINEAR_COUNTER_H_

@@ -1,0 +1,66 @@
+#include "counting/parallel_counter.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "counting/candidate_trie.h"
+
+namespace pincer {
+
+ParallelCounter::ParallelCounter(const TransactionDatabase& db,
+                                 size_t num_threads)
+    : db_(db), num_threads_(num_threads) {
+  if (num_threads_ == 0) {
+    num_threads_ = std::max<size_t>(std::thread::hardware_concurrency(), 1);
+  }
+}
+
+std::vector<uint64_t> ParallelCounter::CountSupports(
+    const std::vector<Itemset>& candidates) {
+  std::vector<uint64_t> counts(candidates.size(), 0);
+
+  CandidateTrie trie;
+  size_t num_nonempty = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].empty()) {
+      counts[i] = db_.size();
+      continue;
+    }
+    trie.Insert(candidates[i], i);
+    ++num_nonempty;
+  }
+  if (num_nonempty == 0 || db_.empty()) return counts;
+
+  const size_t workers =
+      std::min(num_threads_, std::max<size_t>(db_.size() / 64, 1));
+  if (workers <= 1) {
+    for (const Transaction& transaction : db_.transactions()) {
+      trie.CountTransaction(transaction, counts);
+    }
+    return counts;
+  }
+
+  std::vector<std::vector<uint64_t>> partial(
+      workers, std::vector<uint64_t>(candidates.size(), 0));
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const size_t chunk = (db_.size() + workers - 1) / workers;
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      const size_t begin = w * chunk;
+      const size_t end = std::min(begin + chunk, db_.size());
+      std::vector<uint64_t>& local = partial[w];
+      for (size_t i = begin; i < end; ++i) {
+        trie.CountTransaction(db_.transaction(i), local);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (const std::vector<uint64_t>& local : partial) {
+    for (size_t i = 0; i < counts.size(); ++i) counts[i] += local[i];
+  }
+  return counts;
+}
+
+}  // namespace pincer

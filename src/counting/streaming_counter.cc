@@ -1,0 +1,67 @@
+#include "counting/streaming_counter.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "counting/candidate_trie.h"
+#include "data/transaction.h"
+
+namespace pincer {
+
+StreamingCounter::StreamingCounter(std::string path)
+    : path_(std::move(path)) {}
+
+StatusOr<std::vector<uint64_t>> StreamingCounter::CountSupports(
+    const std::vector<Itemset>& candidates) {
+  std::ifstream in(path_);
+  if (!in) return Status::IoError("cannot open " + path_);
+
+  std::vector<uint64_t> counts(candidates.size(), 0);
+  CandidateTrie trie;
+  size_t num_nonempty = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!candidates[i].empty()) {
+      trie.Insert(candidates[i], i);
+      ++num_nonempty;
+    }
+  }
+
+  ++passes_;
+  last_pass_transactions_ = 0;
+  std::string line;
+  size_t line_number = 0;
+  Transaction transaction;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line[0] == '#') continue;
+    transaction.clear();
+    std::istringstream fields(line);
+    long long raw = 0;
+    while (fields >> raw) {
+      if (raw < 0) {
+        return Status::InvalidArgument("negative item id at line " +
+                                       std::to_string(line_number));
+      }
+      transaction.push_back(static_cast<ItemId>(raw));
+    }
+    if (!fields.eof()) {
+      return Status::InvalidArgument("non-numeric token at line " +
+                                     std::to_string(line_number));
+    }
+    if (transaction.empty()) continue;
+    std::sort(transaction.begin(), transaction.end());
+    transaction.erase(std::unique(transaction.begin(), transaction.end()),
+                      transaction.end());
+    ++last_pass_transactions_;
+    if (num_nonempty > 0) trie.CountTransaction(transaction, counts);
+  }
+
+  // Empty itemsets are supported by every transaction seen this pass.
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].empty()) counts[i] = last_pass_transactions_;
+  }
+  return counts;
+}
+
+}  // namespace pincer

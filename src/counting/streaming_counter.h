@@ -1,0 +1,47 @@
+// Disk-streaming support counting: each CountSupports() call re-reads a
+// basket-format file from disk, transaction by transaction, without ever
+// materializing the database in memory. This makes the paper's pass counts
+// literal I/O — every pass is one sequential read of the database file —
+// and is how the algorithms would run on databases larger than RAM.
+
+#ifndef PINCER_COUNTING_STREAMING_COUNTER_H_
+#define PINCER_COUNTING_STREAMING_COUNTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "itemset/itemset.h"
+#include "util/statusor.h"
+
+namespace pincer {
+
+/// Counts candidate supports by streaming a basket file per call. Not a
+/// SupportCounter subclass: it is bound to a file, not an in-memory
+/// database, and its operations can fail with I/O errors.
+class StreamingCounter {
+ public:
+  /// Binds to a basket-format file (see data/database_io.h). The file is
+  /// opened on each call, so it may be created after the counter.
+  explicit StreamingCounter(std::string path);
+
+  /// One streaming pass: counts the support of every candidate. Returns
+  /// IoError if the file cannot be read, InvalidArgument on malformed rows.
+  StatusOr<std::vector<uint64_t>> CountSupports(
+      const std::vector<Itemset>& candidates);
+
+  /// Number of streaming passes performed so far (the paper's I/O metric).
+  size_t passes() const { return passes_; }
+
+  /// Number of transactions seen during the most recent pass.
+  uint64_t last_pass_transactions() const { return last_pass_transactions_; }
+
+ private:
+  std::string path_;
+  size_t passes_ = 0;
+  uint64_t last_pass_transactions_ = 0;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_COUNTING_STREAMING_COUNTER_H_

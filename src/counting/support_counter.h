@@ -1,0 +1,53 @@
+// SupportCounter: the interface all batch support-counting backends
+// implement. One CountSupports() call corresponds to one pass of reading the
+// database (the unit the paper's pass counts measure).
+
+#ifndef PINCER_COUNTING_SUPPORT_COUNTER_H_
+#define PINCER_COUNTING_SUPPORT_COUNTER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "data/database.h"
+#include "itemset/itemset.h"
+
+namespace pincer {
+
+/// Counting backend selector. All backends compute identical counts; they
+/// differ only in data structure (and therefore speed). kLinear mirrors the
+/// paper's own link-list implementation (§4.1.1); kHashTree is the classic
+/// Apriori structure; kTrie is a prefix-tree variant; kVertical intersects
+/// per-item transaction bitmaps.
+/// kParallel is the trie walk distributed over worker threads (§5's
+/// parallel-mining direction).
+enum class CounterBackend {
+  kLinear,
+  kHashTree,
+  kTrie,
+  kVertical,
+  kParallel,
+};
+
+std::string_view CounterBackendName(CounterBackend backend);
+
+/// Counts absolute supports of candidate itemsets over one database. A
+/// counter instance is bound to a database at construction (see
+/// counter_factory.h) and may cache derived structures across calls.
+class SupportCounter {
+ public:
+  virtual ~SupportCounter() = default;
+
+  /// Counts the support of every candidate in one scan. Candidates may have
+  /// mixed sizes (the Pincer loop counts C_k and MFCS together). Returns
+  /// counts aligned index-for-index with `candidates`.
+  virtual std::vector<uint64_t> CountSupports(
+      const std::vector<Itemset>& candidates) = 0;
+
+  /// Backend identifier for logs and stats.
+  virtual CounterBackend backend() const = 0;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_COUNTING_SUPPORT_COUNTER_H_

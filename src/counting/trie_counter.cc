@@ -1,0 +1,29 @@
+#include "counting/trie_counter.h"
+
+namespace pincer {
+
+TrieCounter::TrieCounter(const TransactionDatabase& db) : db_(db) {}
+
+std::vector<uint64_t> TrieCounter::CountSupports(
+    const std::vector<Itemset>& candidates) {
+  std::vector<uint64_t> counts(candidates.size(), 0);
+
+  CandidateTrie trie;
+  size_t num_nonempty = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].empty()) {
+      counts[i] = db_.size();  // the empty itemset is universally supported
+      continue;
+    }
+    trie.Insert(candidates[i], i);
+    ++num_nonempty;
+  }
+  if (num_nonempty == 0) return counts;
+
+  for (const Transaction& transaction : db_.transactions()) {
+    trie.CountTransaction(transaction, counts);
+  }
+  return counts;
+}
+
+}  // namespace pincer

@@ -1,0 +1,31 @@
+// Prefix-trie counting: candidates share prefixes in a CandidateTrie; one
+// recursive walk per transaction counts all contained candidates of every
+// length at once. Handles the Pincer loop's mixed-length batches (C_k plus
+// MFCS) naturally.
+
+#ifndef PINCER_COUNTING_TRIE_COUNTER_H_
+#define PINCER_COUNTING_TRIE_COUNTER_H_
+
+#include "counting/candidate_trie.h"
+#include "counting/support_counter.h"
+
+namespace pincer {
+
+/// SupportCounter backed by a candidate prefix trie rebuilt per call.
+class TrieCounter : public SupportCounter {
+ public:
+  /// Binds to `db`, which must outlive this counter.
+  explicit TrieCounter(const TransactionDatabase& db);
+
+  std::vector<uint64_t> CountSupports(
+      const std::vector<Itemset>& candidates) override;
+
+  CounterBackend backend() const override { return CounterBackend::kTrie; }
+
+ private:
+  const TransactionDatabase& db_;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_COUNTING_TRIE_COUNTER_H_

@@ -1,0 +1,17 @@
+#include "counting/vertical_counter.h"
+
+namespace pincer {
+
+VerticalCounter::VerticalCounter(const TransactionDatabase& db) : db_(db) {}
+
+std::vector<uint64_t> VerticalCounter::CountSupports(
+    const std::vector<Itemset>& candidates) {
+  if (index_ == nullptr) index_ = std::make_unique<VerticalIndex>(db_);
+  std::vector<uint64_t> counts(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    counts[i] = index_->CountSupport(candidates[i]);
+  }
+  return counts;
+}
+
+}  // namespace pincer

@@ -1,0 +1,34 @@
+// Vertical counting: per-item transaction bitmaps intersected per candidate.
+// Independent of the horizontal scan order, which makes it a good
+// cross-check backend in the test suite.
+
+#ifndef PINCER_COUNTING_VERTICAL_COUNTER_H_
+#define PINCER_COUNTING_VERTICAL_COUNTER_H_
+
+#include <memory>
+
+#include "counting/support_counter.h"
+#include "data/vertical_index.h"
+
+namespace pincer {
+
+/// SupportCounter that lazily builds a VerticalIndex on first use and
+/// answers each candidate by bitmap intersection.
+class VerticalCounter : public SupportCounter {
+ public:
+  /// Binds to `db`, which must outlive this counter.
+  explicit VerticalCounter(const TransactionDatabase& db);
+
+  std::vector<uint64_t> CountSupports(
+      const std::vector<Itemset>& candidates) override;
+
+  CounterBackend backend() const override { return CounterBackend::kVertical; }
+
+ private:
+  const TransactionDatabase& db_;
+  std::unique_ptr<VerticalIndex> index_;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_COUNTING_VERTICAL_COUNTER_H_

@@ -1,0 +1,74 @@
+#include "data/database.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pincer {
+
+TransactionDatabase::TransactionDatabase(size_t num_items)
+    : num_items_(num_items) {}
+
+void TransactionDatabase::AddTransaction(Transaction transaction) {
+  std::sort(transaction.begin(), transaction.end());
+  transaction.erase(std::unique(transaction.begin(), transaction.end()),
+                    transaction.end());
+  assert(transaction.empty() || transaction.back() < num_items_);
+  transactions_.push_back(std::move(transaction));
+  bitsets_.clear();
+}
+
+void TransactionDatabase::EnsureBitsets() const {
+  if (bitsets_.size() == transactions_.size()) return;
+  bitsets_.clear();
+  bitsets_.reserve(transactions_.size());
+  for (const Transaction& transaction : transactions_) {
+    DynamicBitset bits(num_items_);
+    for (ItemId item : transaction) bits.Set(item);
+    bitsets_.push_back(std::move(bits));
+  }
+}
+
+const DynamicBitset& TransactionDatabase::transaction_bits(size_t i) const {
+  EnsureBitsets();
+  return bitsets_[i];
+}
+
+bool TransactionDatabase::Supports(size_t i, const Itemset& itemset) const {
+  const DynamicBitset& bits = transaction_bits(i);
+  for (ItemId item : itemset) {
+    if (!bits.Test(item)) return false;
+  }
+  return true;
+}
+
+uint64_t TransactionDatabase::CountSupport(const Itemset& itemset) const {
+  EnsureBitsets();
+  uint64_t count = 0;
+  for (size_t i = 0; i < transactions_.size(); ++i) {
+    if (Supports(i, itemset)) ++count;
+  }
+  return count;
+}
+
+double TransactionDatabase::Support(const Itemset& itemset) const {
+  if (transactions_.empty()) return 0.0;
+  return static_cast<double>(CountSupport(itemset)) /
+         static_cast<double>(transactions_.size());
+}
+
+uint64_t TransactionDatabase::MinSupportCount(double fraction) const {
+  const double scaled = fraction * static_cast<double>(transactions_.size());
+  auto count = static_cast<uint64_t>(std::ceil(scaled));
+  return std::max<uint64_t>(count, 1);
+}
+
+uint64_t TransactionDatabase::TotalItemOccurrences() const {
+  uint64_t total = 0;
+  for (const Transaction& transaction : transactions_) {
+    total += transaction.size();
+  }
+  return total;
+}
+
+}  // namespace pincer

@@ -1,0 +1,95 @@
+#include "data/database_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pincer {
+
+namespace {
+
+constexpr char kItemsHeaderPrefix[] = "# items:";
+
+}  // namespace
+
+StatusOr<TransactionDatabase> ReadDatabase(std::istream& in) {
+  std::vector<Transaction> transactions;
+  size_t declared_items = 0;
+  ItemId max_item = 0;
+  bool saw_item = false;
+
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.rfind(kItemsHeaderPrefix, 0) == 0) {
+      std::istringstream header(line.substr(sizeof(kItemsHeaderPrefix) - 1));
+      long long declared = 0;
+      if (!(header >> declared) || declared < 0) {
+        return Status::InvalidArgument("bad items header at line " +
+                                       std::to_string(line_number));
+      }
+      declared_items = static_cast<size_t>(declared);
+      continue;
+    }
+    if (!line.empty() && line[0] == '#') continue;
+
+    Transaction transaction;
+    std::istringstream fields(line);
+    long long raw = 0;
+    while (fields >> raw) {
+      if (raw < 0) {
+        return Status::InvalidArgument("negative item id at line " +
+                                       std::to_string(line_number));
+      }
+      const auto item = static_cast<ItemId>(raw);
+      transaction.push_back(item);
+      max_item = std::max(max_item, item);
+      saw_item = true;
+    }
+    if (!fields.eof()) {
+      return Status::InvalidArgument("non-numeric token at line " +
+                                     std::to_string(line_number));
+    }
+    if (!transaction.empty()) transactions.push_back(std::move(transaction));
+  }
+
+  size_t num_items = declared_items;
+  if (saw_item) num_items = std::max(num_items, static_cast<size_t>(max_item) + 1);
+
+  TransactionDatabase db(num_items);
+  for (auto& transaction : transactions) {
+    db.AddTransaction(std::move(transaction));
+  }
+  return db;
+}
+
+StatusOr<TransactionDatabase> ReadDatabaseFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  return ReadDatabase(in);
+}
+
+Status WriteDatabase(const TransactionDatabase& db, std::ostream& out) {
+  out << kItemsHeaderPrefix << ' ' << db.num_items() << '\n';
+  for (const Transaction& transaction : db.transactions()) {
+    for (size_t i = 0; i < transaction.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << transaction[i];
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Status WriteDatabaseToFile(const TransactionDatabase& db,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return WriteDatabase(db, out);
+}
+
+}  // namespace pincer

@@ -1,0 +1,37 @@
+// Text I/O for transaction databases in the standard "basket" format used by
+// FIMI-repository datasets: one transaction per line, whitespace-separated
+// item ids, '#' comment lines.
+
+#ifndef PINCER_DATA_DATABASE_IO_H_
+#define PINCER_DATA_DATABASE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "data/database.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace pincer {
+
+/// Parses a database from a stream. Item ids must be non-negative integers;
+/// `num_items` of the result is max id + 1 (or the declared universe via an
+/// optional header line "# items: N"). Returns InvalidArgument on malformed
+/// input.
+StatusOr<TransactionDatabase> ReadDatabase(std::istream& in);
+
+/// Reads a database from a file path. Returns IoError if the file cannot be
+/// opened.
+StatusOr<TransactionDatabase> ReadDatabaseFromFile(const std::string& path);
+
+/// Writes a database to a stream in basket format, with a "# items: N"
+/// header preserving the declared universe size.
+Status WriteDatabase(const TransactionDatabase& db, std::ostream& out);
+
+/// Writes a database to a file path.
+Status WriteDatabaseToFile(const TransactionDatabase& db,
+                           const std::string& path);
+
+}  // namespace pincer
+
+#endif  // PINCER_DATA_DATABASE_IO_H_

@@ -1,0 +1,46 @@
+#include "data/database_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pincer {
+
+std::string DatabaseStats::ToString() const {
+  std::ostringstream os;
+  os << "transactions: " << num_transactions << "\n"
+     << "item universe: " << num_items << "\n"
+     << "active items: " << num_active_items << "\n"
+     << "avg transaction size: " << avg_transaction_size << "\n"
+     << "min/max transaction size: " << min_transaction_size << "/"
+     << max_transaction_size << "\n";
+  return os.str();
+}
+
+DatabaseStats ComputeStats(const TransactionDatabase& db) {
+  DatabaseStats stats;
+  stats.num_transactions = db.size();
+  stats.num_items = db.num_items();
+  stats.item_supports.assign(db.num_items(), 0);
+
+  uint64_t total_items = 0;
+  size_t min_size = db.empty() ? 0 : db.transaction(0).size();
+  size_t max_size = 0;
+  for (const Transaction& transaction : db.transactions()) {
+    total_items += transaction.size();
+    min_size = std::min(min_size, transaction.size());
+    max_size = std::max(max_size, transaction.size());
+    for (ItemId item : transaction) ++stats.item_supports[item];
+  }
+  stats.min_transaction_size = min_size;
+  stats.max_transaction_size = max_size;
+  stats.avg_transaction_size =
+      db.empty() ? 0.0
+                 : static_cast<double>(total_items) /
+                       static_cast<double>(db.size());
+  stats.num_active_items = static_cast<size_t>(
+      std::count_if(stats.item_supports.begin(), stats.item_supports.end(),
+                    [](uint64_t support) { return support > 0; }));
+  return stats;
+}
+
+}  // namespace pincer

@@ -1,0 +1,38 @@
+// Summary statistics over a transaction database, used to sanity-check
+// synthetic data against the generator's target parameters and reported by
+// the benchmark harnesses.
+
+#ifndef PINCER_DATA_DATABASE_STATS_H_
+#define PINCER_DATA_DATABASE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/database.h"
+
+namespace pincer {
+
+/// Aggregate shape statistics of a database.
+struct DatabaseStats {
+  size_t num_transactions = 0;
+  size_t num_items = 0;
+  /// Number of distinct item ids that actually occur.
+  size_t num_active_items = 0;
+  double avg_transaction_size = 0.0;
+  size_t min_transaction_size = 0;
+  size_t max_transaction_size = 0;
+  /// Per-item absolute support counts, indexed by item id.
+  std::vector<uint64_t> item_supports;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+/// Computes statistics in one scan.
+DatabaseStats ComputeStats(const TransactionDatabase& db);
+
+}  // namespace pincer
+
+#endif  // PINCER_DATA_DATABASE_STATS_H_

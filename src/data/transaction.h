@@ -1,0 +1,18 @@
+// Transaction: one database row, a set of items.
+
+#ifndef PINCER_DATA_TRANSACTION_H_
+#define PINCER_DATA_TRANSACTION_H_
+
+#include <vector>
+
+#include "itemset/item.h"
+
+namespace pincer {
+
+/// A transaction is a strictly increasing vector of item ids, like an
+/// Itemset but kept as a raw vector for counting-loop performance.
+using Transaction = std::vector<ItemId>;
+
+}  // namespace pincer
+
+#endif  // PINCER_DATA_TRANSACTION_H_

@@ -1,0 +1,36 @@
+#include "data/vertical_index.h"
+
+namespace pincer {
+
+VerticalIndex::VerticalIndex(const TransactionDatabase& db)
+    : num_transactions_(db.size()) {
+  tidsets_.assign(db.num_items(), DynamicBitset(db.size()));
+  for (size_t tid = 0; tid < db.size(); ++tid) {
+    for (ItemId item : db.transaction(tid)) {
+      tidsets_[item].Set(tid);
+    }
+  }
+}
+
+uint64_t VerticalIndex::CountSupport(const Itemset& itemset) const {
+  if (itemset.empty()) return num_transactions_;
+  if (itemset.size() == 1) return tidsets_[itemset[0]].Count();
+  DynamicBitset acc = tidsets_[itemset[0]];
+  for (size_t i = 1; i + 1 < itemset.size(); ++i) {
+    acc &= tidsets_[itemset[i]];
+  }
+  return acc.IntersectionCount(tidsets_[itemset[itemset.size() - 1]]);
+}
+
+DynamicBitset VerticalIndex::TidsOf(const Itemset& itemset) const {
+  if (itemset.empty()) {
+    DynamicBitset all(num_transactions_);
+    for (size_t tid = 0; tid < num_transactions_; ++tid) all.Set(tid);
+    return all;
+  }
+  DynamicBitset acc = tidsets_[itemset[0]];
+  for (size_t i = 1; i < itemset.size(); ++i) acc &= tidsets_[itemset[i]];
+  return acc;
+}
+
+}  // namespace pincer

@@ -1,0 +1,62 @@
+#include "extensions/partition.h"
+
+#include <algorithm>
+
+#include "counting/counter_factory.h"
+#include "itemset/itemset_set.h"
+#include "util/timer.h"
+
+namespace pincer {
+
+FrequentSetResult PartitionMine(const TransactionDatabase& db,
+                                const MiningOptions& options,
+                                const PartitionOptions& partition) {
+  Timer timer;
+  FrequentSetResult result;
+  const uint64_t min_count = db.MinSupportCount(options.min_support);
+  const size_t num_partitions =
+      std::max<size_t>(1, std::min(partition.num_partitions,
+                                   std::max<size_t>(db.size(), 1)));
+
+  // Phase 1: mine each partition locally. Together the partition scans read
+  // every transaction once — one conceptual database pass.
+  ItemsetSet candidate_union;
+  std::vector<Itemset> candidates;
+  uint64_t local_candidates = 0;
+  const size_t chunk = (db.size() + num_partitions - 1) / num_partitions;
+  for (size_t p = 0; p < num_partitions; ++p) {
+    const size_t begin = p * chunk;
+    const size_t end = std::min(begin + chunk, db.size());
+    if (begin >= end) break;
+    TransactionDatabase local(db.num_items());
+    for (size_t i = begin; i < end; ++i) {
+      local.AddTransaction(db.transaction(i));
+    }
+    MiningOptions local_options = options;  // same fractional threshold
+    const FrequentSetResult local_result = AprioriMine(local, local_options);
+    local_candidates += local_result.stats.reported_candidates;
+    for (const FrequentItemset& fi : local_result.frequent) {
+      if (candidate_union.Insert(fi.itemset)) {
+        candidates.push_back(fi.itemset);
+      }
+    }
+  }
+  ++result.stats.passes;
+
+  // Phase 2: one full pass validates the union.
+  ++result.stats.passes;
+  result.stats.reported_candidates = candidates.size();
+  result.stats.total_candidates = candidates.size() + local_candidates;
+  auto counter = CreateCounter(options.backend, db);
+  const std::vector<uint64_t> counts = counter->CountSupports(candidates);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (counts[i] >= min_count) {
+      result.frequent.push_back({candidates[i], counts[i]});
+    }
+  }
+  std::sort(result.frequent.begin(), result.frequent.end());
+  result.stats.elapsed_millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace pincer

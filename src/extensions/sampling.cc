@@ -1,0 +1,140 @@
+#include "extensions/sampling.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "apriori/apriori_gen.h"
+#include "counting/counter_factory.h"
+#include "itemset/itemset_ops.h"
+#include "itemset/itemset_set.h"
+#include "util/prng.h"
+#include "util/timer.h"
+
+namespace pincer {
+
+std::vector<Itemset> NegativeBorder(const std::vector<Itemset>& family,
+                                    size_t num_items) {
+  const ItemsetSet members(family);
+  std::vector<Itemset> border;
+
+  // Level 1: items whose singleton is not in the family.
+  std::vector<std::vector<Itemset>> by_level;
+  for (const Itemset& itemset : family) {
+    if (itemset.size() >= by_level.size() + 1) {
+      by_level.resize(itemset.size());
+    }
+    by_level[itemset.size() - 1].push_back(itemset);
+  }
+  for (ItemId item = 0; item < num_items; ++item) {
+    if (!members.Contains(Itemset{item})) border.push_back(Itemset{item});
+  }
+
+  // Level k >= 2: join the family's (k-1)-level, keep itemsets whose every
+  // (k-1)-subset is in the family but which are not members themselves.
+  for (size_t level = 1; level <= by_level.size(); ++level) {
+    std::vector<Itemset> lower = by_level[level - 1];
+    SortLexicographically(lower);
+    for (Itemset& candidate : AprioriJoin(lower)) {
+      if (members.Contains(candidate)) continue;
+      bool all_subsets_in_family = true;
+      for (size_t drop = 0; drop < candidate.size(); ++drop) {
+        std::vector<ItemId> subset;
+        for (size_t i = 0; i < candidate.size(); ++i) {
+          if (i != drop) subset.push_back(candidate[i]);
+        }
+        if (!members.Contains(Itemset::FromSorted(std::move(subset)))) {
+          all_subsets_in_family = false;
+          break;
+        }
+      }
+      if (all_subsets_in_family) border.push_back(std::move(candidate));
+    }
+  }
+  SortLexicographically(border);
+  border.erase(std::unique(border.begin(), border.end()), border.end());
+  return border;
+}
+
+FrequentSetResult SamplingMine(const TransactionDatabase& db,
+                               const MiningOptions& options,
+                               const SamplingOptions& sampling) {
+  Timer timer;
+  FrequentSetResult result;
+  const uint64_t min_count = db.MinSupportCount(options.min_support);
+
+  // Draw the sample.
+  Prng prng(sampling.seed);
+  TransactionDatabase sample(db.num_items());
+  for (const Transaction& transaction : db.transactions()) {
+    if (prng.Bernoulli(sampling.sample_fraction)) {
+      sample.AddTransaction(transaction);
+    }
+  }
+  if (sample.empty() && !db.empty()) {
+    sample.AddTransaction(db.transaction(0));
+  }
+
+  // Mine the sample in memory at the lowered threshold.
+  MiningOptions sample_options = options;
+  sample_options.min_support = options.min_support * sampling.lowered_factor;
+  const FrequentSetResult sample_result = AprioriMine(sample, sample_options);
+
+  // Candidate family S (downward closed by construction).
+  std::vector<Itemset> family = ItemsetsOf(sample_result.frequent);
+  SortLexicographically(family);
+
+  auto counter = CreateCounter(options.backend, db);
+  std::unordered_map<Itemset, uint64_t, ItemsetHash> supports;
+
+  auto count_batch = [&](const std::vector<Itemset>& batch) {
+    std::vector<Itemset> uncounted;
+    for (const Itemset& itemset : batch) {
+      if (!supports.contains(itemset)) uncounted.push_back(itemset);
+    }
+    if (uncounted.empty()) return;
+    ++result.stats.passes;
+    result.stats.reported_candidates += uncounted.size();
+    result.stats.total_candidates += uncounted.size();
+    const std::vector<uint64_t> counts = counter->CountSupports(uncounted);
+    for (size_t i = 0; i < uncounted.size(); ++i) {
+      supports.emplace(std::move(uncounted[i]), counts[i]);
+    }
+  };
+
+  // Verify S plus its negative border; extend on misses.
+  for (size_t round = 0; round < sampling.max_correction_rounds; ++round) {
+    std::vector<Itemset> border = NegativeBorder(family, db.num_items());
+    std::vector<Itemset> batch = family;
+    batch.insert(batch.end(), border.begin(), border.end());
+    count_batch(batch);
+
+    std::vector<Itemset> misses;
+    for (const Itemset& itemset : border) {
+      if (supports.at(itemset) >= min_count) misses.push_back(itemset);
+    }
+    if (misses.empty()) {
+      // Toivonen's guarantee: with no frequent border itemset, every
+      // frequent itemset of the database is in S.
+      for (const Itemset& itemset : family) {
+        const uint64_t count = supports.at(itemset);
+        if (count >= min_count) result.frequent.push_back({itemset, count});
+      }
+      std::sort(result.frequent.begin(), result.frequent.end());
+      result.stats.elapsed_millis = timer.ElapsedMillis();
+      return result;
+    }
+    // Extend the family (still downward closed: each miss's subsets are in
+    // it) and retry.
+    family.insert(family.end(), misses.begin(), misses.end());
+    SortLexicographically(family);
+  }
+
+  // Safety valve: exact fallback if the correction loop did not converge.
+  FrequentSetResult fallback = AprioriMine(db, options);
+  fallback.stats.passes += result.stats.passes;
+  fallback.stats.reported_candidates += result.stats.reported_candidates;
+  fallback.stats.elapsed_millis = timer.ElapsedMillis();
+  return fallback;
+}
+
+}  // namespace pincer

@@ -1,0 +1,99 @@
+#include "gen/pattern_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace pincer {
+
+namespace {
+
+// Draws `count` distinct item ids uniformly from [0, num_items), excluding
+// those already in `chosen`, and appends them.
+void AppendRandomItems(size_t count, size_t num_items,
+                       std::vector<ItemId>& chosen, Prng& prng) {
+  std::unordered_set<ItemId> used(chosen.begin(), chosen.end());
+  while (count > 0 && used.size() < num_items) {
+    const auto item = static_cast<ItemId>(prng.UniformUint64(num_items));
+    if (used.insert(item).second) {
+      chosen.push_back(item);
+      --count;
+    }
+  }
+}
+
+}  // namespace
+
+PatternPool::PatternPool(const PatternPoolParams& params, Prng& prng) {
+  assert(params.num_items > 0);
+  assert(params.num_patterns > 0);
+  patterns_.reserve(params.num_patterns);
+
+  std::vector<ItemId> previous;
+  double weight_sum = 0.0;
+  for (size_t p = 0; p < params.num_patterns; ++p) {
+    Pattern pattern;
+
+    // Pattern size: Poisson with mean |I|, at least 1, at most N.
+    size_t size = prng.Poisson(params.avg_pattern_size);
+    size = std::max<size_t>(size, 1);
+    size = std::min(size, params.num_items);
+
+    // A fraction of items (exponentially distributed with mean
+    // `correlation`) comes from the previous pattern; the rest are fresh
+    // uniform picks. The first pattern is all-fresh.
+    size_t from_previous = 0;
+    if (!previous.empty()) {
+      double fraction = prng.Exponential(params.correlation);
+      fraction = std::min(fraction, 1.0);
+      from_previous =
+          std::min(static_cast<size_t>(fraction * static_cast<double>(size)),
+                   previous.size());
+    }
+    if (from_previous > 0) {
+      // Pick `from_previous` distinct positions from the previous pattern.
+      std::vector<ItemId> shuffled = previous;
+      for (size_t i = 0; i + 1 < shuffled.size(); ++i) {
+        const size_t j =
+            i + prng.UniformUint64(shuffled.size() - i);
+        std::swap(shuffled[i], shuffled[j]);
+      }
+      pattern.items.assign(shuffled.begin(),
+                           shuffled.begin() + static_cast<long>(from_previous));
+    }
+    AppendRandomItems(size - pattern.items.size(), params.num_items,
+                      pattern.items, prng);
+    std::sort(pattern.items.begin(), pattern.items.end());
+
+    pattern.weight = prng.Exponential(1.0);
+    weight_sum += pattern.weight;
+
+    // Corruption level clamped to [0, 1).
+    double corruption =
+        prng.Normal(params.corruption_mean, params.corruption_stddev);
+    pattern.corruption = std::clamp(corruption, 0.0, 0.99);
+
+    previous = pattern.items;
+    patterns_.push_back(std::move(pattern));
+  }
+
+  // Normalize weights and build the cumulative table.
+  cumulative_weights_.reserve(patterns_.size());
+  double acc = 0.0;
+  for (auto& pattern : patterns_) {
+    pattern.weight /= weight_sum;
+    acc += pattern.weight;
+    cumulative_weights_.push_back(acc);
+  }
+  cumulative_weights_.back() = 1.0;
+}
+
+size_t PatternPool::SampleIndex(Prng& prng) const {
+  const double u = prng.UniformDouble();
+  auto it = std::lower_bound(cumulative_weights_.begin(),
+                             cumulative_weights_.end(), u);
+  if (it == cumulative_weights_.end()) --it;
+  return static_cast<size_t>(it - cumulative_weights_.begin());
+}
+
+}  // namespace pincer

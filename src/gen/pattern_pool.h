@@ -1,0 +1,69 @@
+// The pool of "potentially maximal frequent itemsets" of the IBM Quest
+// synthetic data generator (Agrawal & Srikant, VLDB'94): |L| patterns with
+// Poisson-distributed sizes, chained item overlap, exponential weights and
+// per-pattern corruption levels. The Pincer-Search paper's scattered
+// (|L|=2000) vs concentrated (|L|=50) distributions (§4.1.2) are produced by
+// varying the pool size.
+
+#ifndef PINCER_GEN_PATTERN_POOL_H_
+#define PINCER_GEN_PATTERN_POOL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "itemset/item.h"
+#include "util/prng.h"
+
+namespace pincer {
+
+/// One potentially-maximal pattern.
+struct Pattern {
+  /// Sorted item ids of the pattern.
+  std::vector<ItemId> items;
+  /// Probability weight with which transactions pick this pattern
+  /// (normalized over the pool).
+  double weight = 0.0;
+  /// Corruption level: while inserting the pattern into a transaction, items
+  /// are dropped while uniform(0,1) < corruption.
+  double corruption = 0.0;
+};
+
+/// Parameters controlling pattern-pool construction.
+struct PatternPoolParams {
+  /// Item universe size N.
+  size_t num_items = 1000;
+  /// Number of patterns |L|.
+  size_t num_patterns = 2000;
+  /// Average pattern size |I|.
+  double avg_pattern_size = 4.0;
+  /// Fraction of items shared with the previous pattern is sampled from an
+  /// exponential with this mean (clamped to [0,1]); VLDB'94 uses 0.5.
+  double correlation = 0.5;
+  /// Mean and stddev of the per-pattern corruption level, N(0.5, 0.1) in
+  /// VLDB'94.
+  double corruption_mean = 0.5;
+  double corruption_stddev = 0.1;
+};
+
+/// The pattern pool plus the cumulative weight table used for sampling.
+class PatternPool {
+ public:
+  /// Builds a pool according to `params`, drawing randomness from `prng`.
+  PatternPool(const PatternPoolParams& params, Prng& prng);
+
+  const std::vector<Pattern>& patterns() const { return patterns_; }
+  size_t size() const { return patterns_.size(); }
+
+  /// Samples a pattern index according to the normalized weights.
+  size_t SampleIndex(Prng& prng) const;
+
+ private:
+  std::vector<Pattern> patterns_;
+  /// cumulative_weights_[i] = sum of weights of patterns 0..i; last entry is
+  /// 1.0 after normalization.
+  std::vector<double> cumulative_weights_;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_GEN_PATTERN_POOL_H_

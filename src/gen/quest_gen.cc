@@ -1,0 +1,130 @@
+#include "gen/quest_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+#include <vector>
+
+namespace pincer {
+
+std::string QuestParams::Name() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "T%g.I%g.D%zuK (|L|=%zu, N=%zu)",
+                avg_transaction_size, avg_pattern_size,
+                num_transactions / 1000, num_patterns, num_items);
+  return buf;
+}
+
+Status ValidateQuestParams(const QuestParams& params) {
+  if (params.num_items == 0) {
+    return Status::InvalidArgument("num_items must be positive");
+  }
+  if (params.num_patterns == 0) {
+    return Status::InvalidArgument("num_patterns must be positive");
+  }
+  if (params.num_transactions == 0) {
+    return Status::InvalidArgument("num_transactions must be positive");
+  }
+  if (params.avg_transaction_size <= 0.0) {
+    return Status::InvalidArgument("avg_transaction_size must be positive");
+  }
+  if (params.avg_pattern_size <= 0.0) {
+    return Status::InvalidArgument("avg_pattern_size must be positive");
+  }
+  if (params.avg_pattern_size > static_cast<double>(params.num_items)) {
+    return Status::InvalidArgument("avg_pattern_size exceeds num_items");
+  }
+  if (params.correlation <= 0.0) {
+    return Status::InvalidArgument("correlation must be positive");
+  }
+  if (params.corruption_stddev < 0.0) {
+    return Status::InvalidArgument("corruption_stddev must be non-negative");
+  }
+  if (params.corruption_mean < 0.0 || params.corruption_mean >= 1.0) {
+    return Status::InvalidArgument("corruption_mean must be in [0, 1)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Applies corruption to a pattern: drops items from (a copy of) the pattern
+// while a uniform draw stays below the pattern's corruption level, as in
+// VLDB'94. The surviving items keep their original order.
+std::vector<ItemId> CorruptPattern(const Pattern& pattern, Prng& prng) {
+  std::vector<ItemId> items = pattern.items;
+  while (!items.empty() && prng.UniformDouble() < pattern.corruption) {
+    const size_t victim = prng.UniformUint64(items.size());
+    items.erase(items.begin() + static_cast<long>(victim));
+  }
+  return items;
+}
+
+}  // namespace
+
+StatusOr<TransactionDatabase> GenerateQuestDatabase(
+    const QuestParams& params) {
+  PINCER_RETURN_IF_ERROR(ValidateQuestParams(params));
+
+  Prng prng(params.seed);
+  PatternPoolParams pool_params;
+  pool_params.num_items = params.num_items;
+  pool_params.num_patterns = params.num_patterns;
+  pool_params.avg_pattern_size = params.avg_pattern_size;
+  pool_params.correlation = params.correlation;
+  pool_params.corruption_mean = params.corruption_mean;
+  pool_params.corruption_stddev = params.corruption_stddev;
+  const PatternPool pool(pool_params, prng);
+
+  TransactionDatabase db(params.num_items);
+
+  // A pattern that overflowed the previous transaction and was deferred.
+  std::vector<ItemId> carried;
+
+  while (db.size() < params.num_transactions) {
+    // Transaction size: Poisson with mean |T|, at least 1.
+    size_t target_size = prng.Poisson(params.avg_transaction_size);
+    target_size = std::max<size_t>(target_size, 1);
+
+    std::unordered_set<ItemId> chosen;
+    auto add_all = [&chosen](const std::vector<ItemId>& items) {
+      chosen.insert(items.begin(), items.end());
+    };
+
+    if (!carried.empty()) {
+      add_all(carried);
+      carried.clear();
+    }
+
+    // Keep packing corrupted patterns until the transaction is full. Cap the
+    // number of attempts so heavy corruption (all items dropped) cannot spin
+    // forever on a nearly-full transaction.
+    size_t attempts = 0;
+    const size_t max_attempts = 8 * (target_size + 4);
+    while (chosen.size() < target_size && attempts < max_attempts) {
+      ++attempts;
+      const Pattern& pattern = pool.patterns()[pool.SampleIndex(prng)];
+      std::vector<ItemId> fragment = CorruptPattern(pattern, prng);
+      if (fragment.empty()) continue;
+      if (chosen.size() + fragment.size() > target_size && !chosen.empty()) {
+        // Overflow: half the time force it in anyway, half the time keep it
+        // for the next transaction (VLDB'94 rule).
+        if (prng.Bernoulli(0.5)) {
+          add_all(fragment);
+        } else {
+          carried = std::move(fragment);
+        }
+        break;
+      }
+      add_all(fragment);
+    }
+
+    if (chosen.empty()) continue;  // retry; keeps |D| exact
+    db.AddTransaction(Transaction(chosen.begin(), chosen.end()));
+  }
+
+  return db;
+}
+
+}  // namespace pincer

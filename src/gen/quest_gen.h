@@ -1,0 +1,61 @@
+// IBM Quest synthetic transaction generator, re-implemented from the
+// description in Agrawal & Srikant, "Fast Algorithms for Mining Association
+// Rules" (VLDB'94), which is the generator behind the Pincer-Search paper's
+// T*.I*.D* benchmark databases. The original program is not distributed;
+// this is the documented substitution (see DESIGN.md item 7).
+
+#ifndef PINCER_GEN_QUEST_GEN_H_
+#define PINCER_GEN_QUEST_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/database.h"
+#include "gen/pattern_pool.h"
+#include "util/statusor.h"
+
+namespace pincer {
+
+/// Full parameter set of the generator, using the paper's notation:
+/// |D| transactions of average size |T| over N items, built from |L|
+/// potentially-maximal patterns of average size |I|.
+struct QuestParams {
+  /// |D|: number of transactions.
+  size_t num_transactions = 100000;
+  /// |T|: average transaction size (Poisson mean).
+  double avg_transaction_size = 10.0;
+  /// N: item universe size. The paper sets N = 1000 (§4.2).
+  size_t num_items = 1000;
+  /// |L|: pattern-pool size. 2000 for the paper's scattered distributions
+  /// (Figure 3), 50 for the concentrated ones (Figure 4).
+  size_t num_patterns = 2000;
+  /// |I|: average pattern size.
+  double avg_pattern_size = 4.0;
+  /// Pattern chaining correlation (VLDB'94 default 0.5).
+  double correlation = 0.5;
+  /// Corruption distribution N(mean, stddev^2).
+  double corruption_mean = 0.5;
+  double corruption_stddev = 0.1;
+  /// Generator seed; the same seed always produces the same database.
+  uint64_t seed = 19980323;
+
+  /// A "T10.I4.D100K"-style tag (plus |L| and N) used in reports.
+  std::string Name() const;
+};
+
+/// Validates parameters, returning InvalidArgument with a description of the
+/// first violated constraint (positive sizes, |I| <= N, ...).
+Status ValidateQuestParams(const QuestParams& params);
+
+/// Generates a database. Transactions are produced by repeatedly sampling
+/// weighted patterns, corrupting them (dropping items while u < corruption),
+/// and packing them into a Poisson-sized transaction; when a pattern
+/// overflows the remaining capacity it is added anyway in half the cases and
+/// deferred to the next transaction otherwise, as in VLDB'94. Empty
+/// transactions are discarded and retried, so the result has exactly
+/// params.num_transactions rows. Returns InvalidArgument for bad parameters.
+StatusOr<TransactionDatabase> GenerateQuestDatabase(const QuestParams& params);
+
+}  // namespace pincer
+
+#endif  // PINCER_GEN_QUEST_GEN_H_

@@ -1,0 +1,73 @@
+#include "itemset/dynamic_bitset.h"
+
+#include <bit>
+#include <cassert>
+
+namespace pincer {
+
+DynamicBitset::DynamicBitset(size_t num_bits)
+    : num_bits_(num_bits), words_((num_bits + kBitsPerWord - 1) / kBitsPerWord, 0) {}
+
+void DynamicBitset::Set(size_t index) {
+  assert(index < num_bits_);
+  words_[index / kBitsPerWord] |= uint64_t{1} << (index % kBitsPerWord);
+}
+
+void DynamicBitset::Reset(size_t index) {
+  assert(index < num_bits_);
+  words_[index / kBitsPerWord] &= ~(uint64_t{1} << (index % kBitsPerWord));
+}
+
+void DynamicBitset::Clear() {
+  for (auto& word : words_) word = 0;
+}
+
+bool DynamicBitset::Test(size_t index) const {
+  assert(index < num_bits_);
+  return (words_[index / kBitsPerWord] >> (index % kBitsPerWord)) & 1;
+}
+
+size_t DynamicBitset::Count() const {
+  size_t total = 0;
+  for (uint64_t word : words_) total += std::popcount(word);
+  return total;
+}
+
+bool DynamicBitset::IsSubsetOf(const DynamicBitset& other) const {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & ~other.words_[i]) return false;
+  }
+  return true;
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+size_t DynamicBitset::IntersectionCount(const DynamicBitset& other) const {
+  assert(num_bits_ == other.num_bits_);
+  size_t total = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    total += std::popcount(words_[i] & other.words_[i]);
+  }
+  return total;
+}
+
+}  // namespace pincer

@@ -1,0 +1,20 @@
+// Item identifier type shared across the library.
+
+#ifndef PINCER_ITEMSET_ITEM_H_
+#define PINCER_ITEMSET_ITEM_H_
+
+#include <cstdint>
+
+namespace pincer {
+
+/// Items are dense non-negative integer ids in [0, num_items). Databases
+/// declare their item universe size; ids index directly into count arrays and
+/// bitsets.
+using ItemId = uint32_t;
+
+/// Sentinel for "no item".
+inline constexpr ItemId kInvalidItem = static_cast<ItemId>(-1);
+
+}  // namespace pincer
+
+#endif  // PINCER_ITEMSET_ITEM_H_

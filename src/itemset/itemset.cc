@@ -1,0 +1,160 @@
+#include "itemset/itemset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+namespace pincer {
+
+namespace {
+
+void SortAndDedup(std::vector<ItemId>& items) {
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+}
+
+[[maybe_unused]] bool IsStrictlyIncreasing(const std::vector<ItemId>& items) {
+  for (size_t i = 1; i < items.size(); ++i) {
+    if (items[i - 1] >= items[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Itemset::Itemset(std::initializer_list<ItemId> items) : items_(items) {
+  SortAndDedup(items_);
+}
+
+Itemset::Itemset(std::vector<ItemId> items) : items_(std::move(items)) {
+  SortAndDedup(items_);
+}
+
+Itemset Itemset::FromSorted(std::vector<ItemId> sorted_items) {
+  assert(IsStrictlyIncreasing(sorted_items));
+  Itemset result;
+  result.items_ = std::move(sorted_items);
+  return result;
+}
+
+Itemset Itemset::Full(size_t num_items) {
+  std::vector<ItemId> items(num_items);
+  std::iota(items.begin(), items.end(), ItemId{0});
+  return FromSorted(std::move(items));
+}
+
+bool Itemset::Contains(ItemId item) const {
+  return std::binary_search(items_.begin(), items_.end(), item);
+}
+
+bool Itemset::IsSubsetOf(const Itemset& other) const {
+  return std::includes(other.items_.begin(), other.items_.end(),
+                       items_.begin(), items_.end());
+}
+
+bool Itemset::SharesPrefix(const Itemset& other, size_t prefix_len) const {
+  if (items_.size() < prefix_len || other.items_.size() < prefix_len) {
+    return false;
+  }
+  return std::equal(items_.begin(), items_.begin() + prefix_len,
+                    other.items_.begin());
+}
+
+Itemset Itemset::Union(const Itemset& other) const {
+  std::vector<ItemId> merged;
+  merged.reserve(items_.size() + other.items_.size());
+  std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                 other.items_.end(), std::back_inserter(merged));
+  return FromSorted(std::move(merged));
+}
+
+Itemset Itemset::Intersect(const Itemset& other) const {
+  std::vector<ItemId> common;
+  std::set_intersection(items_.begin(), items_.end(), other.items_.begin(),
+                        other.items_.end(), std::back_inserter(common));
+  return FromSorted(std::move(common));
+}
+
+Itemset Itemset::Difference(const Itemset& other) const {
+  std::vector<ItemId> rest;
+  std::set_difference(items_.begin(), items_.end(), other.items_.begin(),
+                      other.items_.end(), std::back_inserter(rest));
+  return FromSorted(std::move(rest));
+}
+
+Itemset Itemset::WithoutItem(ItemId item) const {
+  std::vector<ItemId> rest;
+  rest.reserve(items_.size());
+  for (ItemId existing : items_) {
+    if (existing != item) rest.push_back(existing);
+  }
+  return FromSorted(std::move(rest));
+}
+
+Itemset Itemset::WithItem(ItemId item) const {
+  if (Contains(item)) return *this;
+  std::vector<ItemId> extended = items_;
+  extended.insert(std::upper_bound(extended.begin(), extended.end(), item),
+                  item);
+  return FromSorted(std::move(extended));
+}
+
+Itemset Itemset::Prefix(size_t k) const {
+  assert(k <= items_.size());
+  return FromSorted(std::vector<ItemId>(items_.begin(), items_.begin() + k));
+}
+
+int Itemset::IndexOf(ItemId item) const {
+  auto it = std::lower_bound(items_.begin(), items_.end(), item);
+  if (it == items_.end() || *it != item) return -1;
+  return static_cast<int>(it - items_.begin());
+}
+
+std::vector<Itemset> Itemset::SubsetsOfSize(size_t k) const {
+  std::vector<Itemset> subsets;
+  if (k > items_.size()) return subsets;
+  // Standard combination enumeration over index positions.
+  std::vector<size_t> index(k);
+  std::iota(index.begin(), index.end(), size_t{0});
+  const size_t n = items_.size();
+  while (true) {
+    std::vector<ItemId> subset(k);
+    for (size_t i = 0; i < k; ++i) subset[i] = items_[index[i]];
+    subsets.push_back(FromSorted(std::move(subset)));
+    // Advance to the next combination.
+    size_t pos = k;
+    while (pos > 0 && index[pos - 1] == n - k + pos - 1) --pos;
+    if (pos == 0) break;
+    ++index[pos - 1];
+    for (size_t i = pos; i < k; ++i) index[i] = index[i - 1] + 1;
+  }
+  return subsets;
+}
+
+std::string Itemset::ToString() const {
+  std::ostringstream os;
+  os << '{';
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << items_[i];
+  }
+  os << '}';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Itemset& itemset) {
+  return os << itemset.ToString();
+}
+
+size_t ItemsetHash::operator()(const Itemset& itemset) const {
+  // FNV-1a over the item ids.
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (ItemId item : itemset) {
+    hash ^= item;
+    hash *= 0x100000001b3ULL;
+  }
+  return static_cast<size_t>(hash);
+}
+
+}  // namespace pincer

@@ -1,0 +1,120 @@
+// The Itemset value type: a set of items maintained as a sorted sequence, the
+// representation the paper's candidate-generation procedures rely on
+// ("itemsets are maintained as sequences in sorted lexicographical order",
+// §3.3).
+
+#ifndef PINCER_ITEMSET_ITEMSET_H_
+#define PINCER_ITEMSET_ITEMSET_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "itemset/item.h"
+
+namespace pincer {
+
+/// An immutable-by-convention set of items stored as a strictly increasing
+/// vector of ids. Supports the subset/prefix/join algebra used by
+/// Apriori-gen, the recovery procedure, and MFCS-gen. Itemsets are small
+/// value types; copy freely.
+class Itemset {
+ public:
+  /// The empty itemset.
+  Itemset() = default;
+
+  /// Constructs from items in any order, sorting and deduplicating.
+  Itemset(std::initializer_list<ItemId> items);
+
+  /// Constructs from a vector in any order, sorting and deduplicating.
+  explicit Itemset(std::vector<ItemId> items);
+
+  /// Constructs from a vector that is already strictly increasing — skips
+  /// the sort. Asserted in debug builds.
+  static Itemset FromSorted(std::vector<ItemId> sorted_items);
+
+  /// The full itemset {0, 1, ..., num_items-1}; the paper's initial MFCS
+  /// element.
+  static Itemset Full(size_t num_items);
+
+  Itemset(const Itemset&) = default;
+  Itemset& operator=(const Itemset&) = default;
+  Itemset(Itemset&&) = default;
+  Itemset& operator=(Itemset&&) = default;
+
+  /// Number of items ("length" of the itemset in the paper's terminology).
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// i-th smallest item, 0-indexed.
+  ItemId operator[](size_t i) const { return items_[i]; }
+
+  const std::vector<ItemId>& items() const { return items_; }
+  std::vector<ItemId>::const_iterator begin() const { return items_.begin(); }
+  std::vector<ItemId>::const_iterator end() const { return items_.end(); }
+
+  /// Membership test, O(log n).
+  bool Contains(ItemId item) const;
+
+  /// Returns true if every item of this set is in `other`. O(n + m) merge
+  /// walk.
+  bool IsSubsetOf(const Itemset& other) const;
+
+  /// Returns true if this set shares the first `prefix_len` items with
+  /// `other` (both must have at least `prefix_len` items).
+  bool SharesPrefix(const Itemset& other, size_t prefix_len) const;
+
+  /// Set union; result is sorted.
+  Itemset Union(const Itemset& other) const;
+
+  /// Set intersection; result is sorted.
+  Itemset Intersect(const Itemset& other) const;
+
+  /// This set minus `other`.
+  Itemset Difference(const Itemset& other) const;
+
+  /// This set with `item` removed (no-op if absent). MFCS-gen's
+  /// "m \ {e}" step.
+  Itemset WithoutItem(ItemId item) const;
+
+  /// This set plus `item` (no-op if present).
+  Itemset WithItem(ItemId item) const;
+
+  /// The first `k` items. Requires k <= size().
+  Itemset Prefix(size_t k) const;
+
+  /// Index of `item` within the sorted sequence, or -1 if absent.
+  int IndexOf(ItemId item) const;
+
+  /// All subsets of size `k`, in lexicographic order. Intended for small
+  /// sets (rule generation, tests); the count is C(size, k).
+  std::vector<Itemset> SubsetsOfSize(size_t k) const;
+
+  /// "{1, 3, 7}" rendering for logs and test failure messages.
+  std::string ToString() const;
+
+  friend bool operator==(const Itemset& a, const Itemset& b) {
+    return a.items_ == b.items_;
+  }
+  /// Lexicographic order on the sorted item sequences — the order the
+  /// paper's join procedure assumes.
+  friend bool operator<(const Itemset& a, const Itemset& b) {
+    return a.items_ < b.items_;
+  }
+
+ private:
+  std::vector<ItemId> items_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Itemset& itemset);
+
+/// FNV-1a style hash usable in unordered containers.
+struct ItemsetHash {
+  size_t operator()(const Itemset& itemset) const;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_ITEMSET_ITEMSET_H_

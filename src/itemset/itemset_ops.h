@@ -1,0 +1,47 @@
+// Free functions on itemsets and itemset collections shared by the mining
+// algorithms: the (k-1)-prefix join primitive, maximality extraction, and
+// collection-level subset queries.
+
+#ifndef PINCER_ITEMSET_ITEMSET_OPS_H_
+#define PINCER_ITEMSET_ITEMSET_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "itemset/itemset.h"
+
+namespace pincer {
+
+/// True if `a` and `b` are k-itemsets of the same size sharing their first
+/// (k-1) items — the joinability test of the Apriori-gen join procedure.
+bool Joinable(const Itemset& a, const Itemset& b);
+
+/// Joins two joinable k-itemsets into their (k+1)-item union. Requires
+/// Joinable(a, b).
+Itemset Join(const Itemset& a, const Itemset& b);
+
+/// Returns the maximal elements of `itemsets`: those that are not a proper
+/// subset of any other element. Duplicates collapse to one occurrence.
+/// Output is sorted lexicographically.
+std::vector<Itemset> MaximalElements(std::vector<Itemset> itemsets);
+
+/// True if `candidate` is a subset of at least one element of `collection`.
+bool IsSubsetOfAny(const Itemset& candidate,
+                   const std::vector<Itemset>& collection);
+
+/// True if at least one element of `collection` is a subset of `candidate`.
+bool ContainsSubsetOf(const Itemset& candidate,
+                      const std::vector<Itemset>& collection);
+
+/// All non-empty proper subsets of `itemset` — the "2^l - 2 non-trivial
+/// frequent itemsets" of the paper's introduction. Intended for small sets;
+/// the count is 2^size - 2.
+std::vector<Itemset> NonTrivialSubsets(const Itemset& itemset);
+
+/// Sorts a candidate list lexicographically — the precondition of the join
+/// procedure.
+void SortLexicographically(std::vector<Itemset>& itemsets);
+
+}  // namespace pincer
+
+#endif  // PINCER_ITEMSET_ITEMSET_OPS_H_

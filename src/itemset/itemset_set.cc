@@ -1,0 +1,28 @@
+#include "itemset/itemset_set.h"
+
+#include <algorithm>
+
+namespace pincer {
+
+ItemsetSet::ItemsetSet(const std::vector<Itemset>& itemsets)
+    : set_(itemsets.begin(), itemsets.end()) {}
+
+bool ItemsetSet::Insert(const Itemset& itemset) {
+  return set_.insert(itemset).second;
+}
+
+bool ItemsetSet::Erase(const Itemset& itemset) {
+  return set_.erase(itemset) > 0;
+}
+
+bool ItemsetSet::Contains(const Itemset& itemset) const {
+  return set_.contains(itemset);
+}
+
+std::vector<Itemset> ItemsetSet::Sorted() const {
+  std::vector<Itemset> elements(set_.begin(), set_.end());
+  std::sort(elements.begin(), elements.end());
+  return elements;
+}
+
+}  // namespace pincer

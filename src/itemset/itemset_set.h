@@ -1,0 +1,50 @@
+// ItemsetSet: a hash set of itemsets with exact-membership queries, used for
+// L_k lookup in the prune procedures and for the support cache key space.
+
+#ifndef PINCER_ITEMSET_ITEMSET_SET_H_
+#define PINCER_ITEMSET_ITEMSET_SET_H_
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "itemset/itemset.h"
+
+namespace pincer {
+
+/// An unordered collection of distinct itemsets with O(1) expected
+/// membership tests. Iteration order is unspecified; call Sorted() for a
+/// deterministic view.
+class ItemsetSet {
+ public:
+  ItemsetSet() = default;
+
+  /// Builds a set from a list (duplicates collapse).
+  explicit ItemsetSet(const std::vector<Itemset>& itemsets);
+
+  /// Inserts `itemset`; returns true if it was newly added.
+  bool Insert(const Itemset& itemset);
+
+  /// Removes `itemset`; returns true if it was present.
+  bool Erase(const Itemset& itemset);
+
+  /// Exact membership test.
+  bool Contains(const Itemset& itemset) const;
+
+  size_t size() const { return set_.size(); }
+  bool empty() const { return set_.empty(); }
+  void Clear() { set_.clear(); }
+
+  /// All elements in lexicographic order.
+  std::vector<Itemset> Sorted() const;
+
+  auto begin() const { return set_.begin(); }
+  auto end() const { return set_.end(); }
+
+ private:
+  std::unordered_set<Itemset, ItemsetHash> set_;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_ITEMSET_ITEMSET_SET_H_

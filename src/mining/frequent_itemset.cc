@@ -1,0 +1,26 @@
+#include "mining/frequent_itemset.h"
+
+#include <algorithm>
+
+namespace pincer {
+
+std::ostream& operator<<(std::ostream& os, const FrequentItemset& fi) {
+  return os << fi.itemset << " (support " << fi.support << ")";
+}
+
+std::vector<Itemset> ItemsetsOf(const std::vector<FrequentItemset>& list) {
+  std::vector<Itemset> itemsets;
+  itemsets.reserve(list.size());
+  for (const FrequentItemset& fi : list) itemsets.push_back(fi.itemset);
+  return itemsets;
+}
+
+size_t MaxLength(const std::vector<FrequentItemset>& list) {
+  size_t longest = 0;
+  for (const FrequentItemset& fi : list) {
+    longest = std::max(longest, fi.itemset.size());
+  }
+  return longest;
+}
+
+}  // namespace pincer

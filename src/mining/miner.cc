@@ -1,0 +1,101 @@
+#include "mining/miner.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "counting/counter_factory.h"
+#include "itemset/itemset_set.h"
+
+namespace pincer {
+
+std::string_view AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kApriori:
+      return "apriori";
+    case Algorithm::kAprioriCombined:
+      return "apriori-combined";
+    case Algorithm::kPincer:
+      return "pincer";
+    case Algorithm::kPincerAdaptive:
+      return "pincer-adaptive";
+  }
+  return "unknown";
+}
+
+StatusOr<Algorithm> ParseAlgorithm(std::string_view name) {
+  if (name == "apriori") return Algorithm::kApriori;
+  if (name == "apriori-combined") return Algorithm::kAprioriCombined;
+  if (name == "pincer") return Algorithm::kPincer;
+  if (name == "pincer-adaptive") return Algorithm::kPincerAdaptive;
+  return Status::InvalidArgument("unknown algorithm: " + std::string(name));
+}
+
+MaximalSetResult MineMaximal(const TransactionDatabase& db,
+                             const MiningOptions& options,
+                             Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kApriori: {
+      const FrequentSetResult full = AprioriMine(db, options);
+      MaximalSetResult result;
+      result.mfs = full.MaximalItemsets();
+      result.stats = full.stats;
+      return result;
+    }
+    case Algorithm::kAprioriCombined: {
+      const FrequentSetResult full = AprioriCombinedMine(db, options);
+      MaximalSetResult result;
+      result.mfs = full.MaximalItemsets();
+      result.stats = full.stats;
+      return result;
+    }
+    case Algorithm::kPincer: {
+      MiningOptions pure = options;
+      pure.mfcs_cardinality_limit = 0;
+      return PincerSearch(db, pure);
+    }
+    case Algorithm::kPincerAdaptive: {
+      MiningOptions adaptive = options;
+      if (adaptive.mfcs_cardinality_limit == 0) {
+        adaptive.mfcs_cardinality_limit = kDefaultMfcsCardinalityLimit;
+      }
+      if (adaptive.mfcs_work_limit == 0) {
+        adaptive.mfcs_work_limit = kDefaultMfcsWorkLimit;
+      }
+      return PincerSearch(db, adaptive);
+    }
+  }
+  return MaximalSetResult{};
+}
+
+FrequentSetResult MineFrequent(const TransactionDatabase& db,
+                               const MiningOptions& options) {
+  return AprioriMine(db, options);
+}
+
+std::vector<FrequentItemset> ExpandToFrequentSet(
+    const TransactionDatabase& db, const MaximalSetResult& maximal,
+    const MiningOptions& options) {
+  // Enumerate all distinct non-empty subsets of MFS elements.
+  std::unordered_set<Itemset, ItemsetHash> seen;
+  std::vector<Itemset> subsets;
+  for (const FrequentItemset& element : maximal.mfs) {
+    for (size_t k = 1; k <= element.itemset.size(); ++k) {
+      for (Itemset& subset : element.itemset.SubsetsOfSize(k)) {
+        if (seen.insert(subset).second) subsets.push_back(std::move(subset));
+      }
+    }
+  }
+  // One batch count over the database.
+  auto counter = CreateCounter(options.backend, db);
+  const std::vector<uint64_t> counts = counter->CountSupports(subsets);
+
+  std::vector<FrequentItemset> frequent;
+  frequent.reserve(subsets.size());
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    frequent.push_back({subsets[i], counts[i]});
+  }
+  std::sort(frequent.begin(), frequent.end());
+  return frequent;
+}
+
+}  // namespace pincer

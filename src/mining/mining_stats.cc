@@ -1,0 +1,29 @@
+#include "mining/mining_stats.h"
+
+#include <sstream>
+
+namespace pincer {
+
+std::string MiningStats::ToString() const {
+  std::ostringstream os;
+  os << "passes: " << passes << "\n"
+     << "reported candidates (>= pass 3, incl. MFCS): " << reported_candidates
+     << "\n"
+     << "total candidates (all passes): " << total_candidates << "\n"
+     << "MFCS candidates: " << mfcs_candidates << "\n"
+     << "elapsed: " << elapsed_millis << " ms\n";
+  if (mfcs_disabled) {
+    os << "MFCS maintenance abandoned at pass " << mfcs_disabled_at_pass
+       << " (adaptive policy)\n";
+  }
+  for (const PassStats& pass : per_pass) {
+    os << "  pass " << pass.pass << ": candidates=" << pass.num_candidates
+       << " mfcs_candidates=" << pass.num_mfcs_candidates
+       << " frequent=" << pass.num_frequent
+       << " mfs_found=" << pass.num_mfs_found
+       << " mfcs_after=" << pass.mfcs_size_after << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pincer

@@ -1,0 +1,63 @@
+// Execution statistics matching the metrics the paper's Figures 3-4 report:
+// wall time, number of database passes, and number of candidates considered
+// (with the paper's accounting conventions, see §4.1.1).
+
+#ifndef PINCER_MINING_MINING_STATS_H_
+#define PINCER_MINING_MINING_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pincer {
+
+/// Per-pass breakdown.
+struct PassStats {
+  /// Pass number k (1-based).
+  size_t pass = 0;
+  /// Bottom-up candidates counted this pass (|C_k|).
+  size_t num_candidates = 0;
+  /// MFCS elements counted this pass (0 for Apriori).
+  size_t num_mfcs_candidates = 0;
+  /// How many of the bottom-up candidates were frequent.
+  size_t num_frequent = 0;
+  /// Maximal frequent itemsets discovered from MFCS this pass.
+  size_t num_mfs_found = 0;
+  /// |MFCS| after this pass's update (0 for Apriori).
+  size_t mfcs_size_after = 0;
+};
+
+/// Whole-run statistics.
+struct MiningStats {
+  /// Number of passes over the database.
+  size_t passes = 0;
+  /// Candidates counted in passes >= 3 plus every MFCS element counted in
+  /// any pass — the paper's reported candidate metric ("does not include
+  /// the candidates in the first two passes"; "includes the candidates in
+  /// the MFCS", §4.1.1).
+  uint64_t reported_candidates = 0;
+  /// All candidates counted in all passes, including passes 1-2 and MFCS
+  /// elements.
+  uint64_t total_candidates = 0;
+  /// MFCS elements counted across all passes (0 for Apriori).
+  uint64_t mfcs_candidates = 0;
+  /// Wall-clock mining time.
+  double elapsed_millis = 0.0;
+  /// True if the run stopped early because options.time_budget_ms was
+  /// exceeded; the result is then incomplete.
+  bool aborted = false;
+  /// True if the adaptive policy abandoned MFCS maintenance mid-run.
+  bool mfcs_disabled = false;
+  /// Pass at which it was abandoned (0 if never).
+  size_t mfcs_disabled_at_pass = 0;
+  /// Per-pass detail.
+  std::vector<PassStats> per_pass;
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_MINING_MINING_STATS_H_

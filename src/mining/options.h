@@ -1,0 +1,54 @@
+// Mining configuration shared by the Apriori baseline and Pincer-Search.
+
+#ifndef PINCER_MINING_OPTIONS_H_
+#define PINCER_MINING_OPTIONS_H_
+
+#include <cstddef>
+
+#include "counting/support_counter.h"
+
+namespace pincer {
+
+/// Options accepted by both miners. Pincer-specific fields are ignored by
+/// Apriori.
+struct MiningOptions {
+  /// Minimum support as a fraction of |D| (e.g. 0.01 = 1%). An itemset is
+  /// frequent iff its absolute count >= ceil(min_support * |D|), at least 1.
+  double min_support = 0.01;
+
+  /// Counting backend for passes >= 3 (and for MFCS elements in all passes).
+  CounterBackend backend = CounterBackend::kTrie;
+
+  /// Use the Özden et al. array fast paths for passes 1 and 2 (§4.1.1).
+  /// When false, passes 1-2 run through the generic backend too; results are
+  /// identical either way.
+  bool use_array_fast_path = true;
+
+  /// Pincer only: adaptive MFCS cap (§3.5). If an MFCS update would grow the
+  /// set beyond this many elements, MFCS maintenance is abandoned for the
+  /// rest of the run (the adaptive variant the paper evaluates). 0 means
+  /// unlimited — the pure Pincer-Search algorithm.
+  size_t mfcs_cardinality_limit = 0;
+
+  /// Pincer only: adaptive MFCS-gen work cap, in element-scan steps per
+  /// update (0 = unlimited). Captures §3.5's "many 2-itemsets but only a
+  /// few of them frequent" case, where the batch of infrequent itemsets is
+  /// so large that maintaining the MFCS cannot pay for itself regardless of
+  /// its cardinality. Exceeding it abandons MFCS maintenance like the
+  /// cardinality cap does.
+  size_t mfcs_work_limit = 0;
+
+  /// Emit per-pass progress via PINCER_LOG(kInfo).
+  bool verbose = false;
+
+  /// Cooperative wall-clock budget in milliseconds (0 = unlimited). Checked
+  /// between passes: when exceeded, the run stops early and the result
+  /// carries stats.aborted = true with whatever was mined so far. Used by
+  /// the benchmark harnesses to bound Apriori's exponential blow-ups at the
+  /// paper's hardest settings.
+  double time_budget_ms = 0;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_MINING_OPTIONS_H_

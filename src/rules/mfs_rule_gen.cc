@@ -1,0 +1,15 @@
+#include "rules/mfs_rule_gen.h"
+
+#include "mining/miner.h"
+
+namespace pincer {
+
+std::vector<AssociationRule> GenerateRulesFromMfs(
+    const TransactionDatabase& db, const MaximalSetResult& maximal,
+    const MiningOptions& mining_options, const RuleOptions& rule_options) {
+  const std::vector<FrequentItemset> frequent =
+      ExpandToFrequentSet(db, maximal, mining_options);
+  return GenerateRules(frequent, db.size(), rule_options);
+}
+
+}  // namespace pincer

@@ -1,0 +1,18 @@
+#include "rules/rule.h"
+
+#include <cstdio>
+
+namespace pincer {
+
+std::string AssociationRule::ToString() const {
+  char suffix[80];
+  std::snprintf(suffix, sizeof(suffix), " (sup %.4f, conf %.4f)", support,
+                confidence);
+  return antecedent.ToString() + " => " + consequent.ToString() + suffix;
+}
+
+std::ostream& operator<<(std::ostream& os, const AssociationRule& rule) {
+  return os << rule.ToString();
+}
+
+}  // namespace pincer

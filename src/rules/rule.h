@@ -1,0 +1,40 @@
+// Association rule value type (§2.1): X -> Y with support and confidence.
+
+#ifndef PINCER_RULES_RULE_H_
+#define PINCER_RULES_RULE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "itemset/itemset.h"
+
+namespace pincer {
+
+/// A rule X -> Y where X and Y are non-empty, non-intersecting itemsets.
+/// support = support(X ∪ Y); confidence = support(X ∪ Y) / support(X).
+struct AssociationRule {
+  Itemset antecedent;   // X
+  Itemset consequent;   // Y
+  uint64_t support_count = 0;  // absolute count of X ∪ Y
+  double support = 0.0;        // fractional support of X ∪ Y
+  double confidence = 0.0;
+
+  /// "{1, 2} => {3} (sup 0.12, conf 0.80)".
+  std::string ToString() const;
+
+  friend bool operator==(const AssociationRule& a, const AssociationRule& b) {
+    return a.antecedent == b.antecedent && a.consequent == b.consequent;
+  }
+  /// Ordered by (antecedent, consequent) for deterministic output.
+  friend bool operator<(const AssociationRule& a, const AssociationRule& b) {
+    if (!(a.antecedent == b.antecedent)) return a.antecedent < b.antecedent;
+    return a.consequent < b.consequent;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const AssociationRule& rule);
+
+}  // namespace pincer
+
+#endif  // PINCER_RULES_RULE_H_

@@ -1,0 +1,78 @@
+#include "rules/rule_gen.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "apriori/apriori_gen.h"
+#include "itemset/itemset_ops.h"
+
+namespace pincer {
+
+namespace {
+
+using SupportMap = std::unordered_map<Itemset, uint64_t, ItemsetHash>;
+
+// ap-genrules: given itemset z and a level of candidate consequents, emit
+// confident rules and recurse on joined consequents. Consequents that fail
+// the confidence bar are dropped along with all their supersets.
+void GenRulesFrom(const Itemset& z, std::vector<Itemset> consequents,
+                  const SupportMap& supports, uint64_t z_count,
+                  uint64_t num_transactions, const RuleOptions& options,
+                  std::vector<AssociationRule>& out) {
+  while (!consequents.empty() && consequents[0].size() < z.size()) {
+    std::vector<Itemset> confident;
+    for (const Itemset& consequent : consequents) {
+      const Itemset antecedent = z.Difference(consequent);
+      auto it = supports.find(antecedent);
+      if (it == supports.end() || it->second == 0) continue;
+      const double confidence =
+          static_cast<double>(z_count) / static_cast<double>(it->second);
+      if (confidence + 1e-12 >= options.min_confidence) {
+        AssociationRule rule;
+        rule.antecedent = antecedent;
+        rule.consequent = consequent;
+        rule.support_count = z_count;
+        rule.support = static_cast<double>(z_count) /
+                       static_cast<double>(num_transactions);
+        rule.confidence = confidence;
+        out.push_back(std::move(rule));
+        confident.push_back(consequent);
+      }
+    }
+    // Grow consequents by the Apriori join over the confident ones; larger
+    // consequents of non-confident parents cannot be confident.
+    SortLexicographically(confident);
+    consequents = AprioriJoin(confident);
+  }
+}
+
+}  // namespace
+
+std::vector<AssociationRule> GenerateRules(
+    const std::vector<FrequentItemset>& frequent, uint64_t num_transactions,
+    const RuleOptions& options) {
+  SupportMap supports;
+  for (const FrequentItemset& fi : frequent) {
+    supports.emplace(fi.itemset, fi.support);
+  }
+
+  std::vector<AssociationRule> rules;
+  for (const FrequentItemset& fi : frequent) {
+    const Itemset& z = fi.itemset;
+    if (z.size() < 2) continue;
+    if (options.max_itemset_size > 0 && z.size() > options.max_itemset_size) {
+      continue;
+    }
+    // Level 1 consequents: every single item of z.
+    std::vector<Itemset> singles;
+    singles.reserve(z.size());
+    for (ItemId item : z) singles.push_back(Itemset{item});
+    GenRulesFrom(z, std::move(singles), supports, fi.support,
+                 num_transactions, options, rules);
+  }
+  std::sort(rules.begin(), rules.end());
+  rules.erase(std::unique(rules.begin(), rules.end()), rules.end());
+  return rules;
+}
+
+}  // namespace pincer

@@ -1,0 +1,37 @@
+// Stage 2 of the mining scheme (§2.1): association-rule generation from a
+// frequent set with known supports. Implements the ap-genrules strategy of
+// Agrawal & Srikant: consequents grow from single items, and a consequent is
+// extended only while the rule stays confident (confidence is antimonotone
+// in consequent growth for a fixed itemset).
+
+#ifndef PINCER_RULES_RULE_GEN_H_
+#define PINCER_RULES_RULE_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mining/frequent_itemset.h"
+#include "rules/rule.h"
+
+namespace pincer {
+
+/// Rule-generation configuration.
+struct RuleOptions {
+  /// Minimum confidence threshold in [0, 1].
+  double min_confidence = 0.5;
+  /// Skip source itemsets longer than this (0 = no limit). Guards against
+  /// the exponential number of rules of very long maximal itemsets.
+  size_t max_itemset_size = 0;
+};
+
+/// Generates all confident rules from every itemset in `frequent` (which
+/// must be subset-closed and carry exact supports, e.g. the output of
+/// AprioriMine or ExpandToFrequentSet). `num_transactions` converts counts
+/// to fractional supports. Output is sorted and duplicate-free.
+std::vector<AssociationRule> GenerateRules(
+    const std::vector<FrequentItemset>& frequent, uint64_t num_transactions,
+    const RuleOptions& options);
+
+}  // namespace pincer
+
+#endif  // PINCER_RULES_RULE_GEN_H_

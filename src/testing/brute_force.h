@@ -1,0 +1,29 @@
+// Exhaustive reference miner used as the test oracle: enumerates every
+// subset of the item universe, counts it directly, and derives the frequent
+// set and the maximum frequent set by definition. Exponential — only for
+// small universes (asserted <= 20 items).
+
+#ifndef PINCER_TESTING_BRUTE_FORCE_H_
+#define PINCER_TESTING_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "data/database.h"
+#include "mining/frequent_itemset.h"
+
+namespace pincer {
+
+/// Every frequent non-empty itemset with its support, sorted
+/// lexicographically. `min_support` is a fraction of |D|, thresholded
+/// exactly as the miners do (ceil, at least 1).
+std::vector<FrequentItemset> BruteForceFrequent(const TransactionDatabase& db,
+                                                double min_support);
+
+/// The maximum frequent set by definition: frequent itemsets with no
+/// frequent proper superset. Sorted lexicographically.
+std::vector<FrequentItemset> BruteForceMaximal(const TransactionDatabase& db,
+                                               double min_support);
+
+}  // namespace pincer
+
+#endif  // PINCER_TESTING_BRUTE_FORCE_H_

@@ -1,0 +1,78 @@
+#include "testing/db_builder.h"
+
+#include <algorithm>
+
+#include "util/prng.h"
+
+namespace pincer {
+
+TransactionDatabase MakeDatabase(
+    std::initializer_list<std::initializer_list<ItemId>> transactions,
+    size_t num_items) {
+  size_t universe = num_items;
+  for (const auto& transaction : transactions) {
+    for (ItemId item : transaction) {
+      universe = std::max(universe, static_cast<size_t>(item) + 1);
+    }
+  }
+  TransactionDatabase db(universe);
+  for (const auto& transaction : transactions) {
+    db.AddTransaction(Transaction(transaction));
+  }
+  return db;
+}
+
+TransactionDatabase MakeRandomDatabase(const RandomDbParams& params) {
+  Prng prng(params.seed);
+  TransactionDatabase db(params.num_items);
+  for (size_t t = 0; t < params.num_transactions; ++t) {
+    Transaction transaction;
+    for (ItemId item = 0; item < params.num_items; ++item) {
+      if (prng.Bernoulli(params.item_probability)) {
+        transaction.push_back(item);
+      }
+    }
+    db.AddTransaction(std::move(transaction));
+  }
+  return db;
+}
+
+TransactionDatabase MakePlantedDatabase(size_t num_items,
+                                        size_t num_transactions,
+                                        size_t num_planted,
+                                        size_t pattern_size,
+                                        double pattern_frequency,
+                                        double noise_probability,
+                                        uint64_t seed) {
+  Prng prng(seed);
+
+  // Draw the planted patterns.
+  std::vector<std::vector<ItemId>> patterns;
+  for (size_t p = 0; p < num_planted; ++p) {
+    std::vector<ItemId> pattern;
+    while (pattern.size() < std::min(pattern_size, num_items)) {
+      const auto item = static_cast<ItemId>(prng.UniformUint64(num_items));
+      if (std::find(pattern.begin(), pattern.end(), item) == pattern.end()) {
+        pattern.push_back(item);
+      }
+    }
+    patterns.push_back(std::move(pattern));
+  }
+
+  TransactionDatabase db(num_items);
+  for (size_t t = 0; t < num_transactions; ++t) {
+    Transaction transaction;
+    for (const auto& pattern : patterns) {
+      if (prng.Bernoulli(pattern_frequency)) {
+        transaction.insert(transaction.end(), pattern.begin(), pattern.end());
+      }
+    }
+    for (ItemId item = 0; item < num_items; ++item) {
+      if (prng.Bernoulli(noise_probability)) transaction.push_back(item);
+    }
+    db.AddTransaction(std::move(transaction));
+  }
+  return db;
+}
+
+}  // namespace pincer

@@ -1,0 +1,49 @@
+// Test-data construction helpers: inline databases from initializer lists
+// and seeded random databases for property sweeps.
+
+#ifndef PINCER_TESTING_DB_BUILDER_H_
+#define PINCER_TESTING_DB_BUILDER_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "data/database.h"
+
+namespace pincer {
+
+/// Builds a database from explicit transactions, sizing the universe to
+/// max item + 1 (or `num_items` if larger).
+TransactionDatabase MakeDatabase(
+    std::initializer_list<std::initializer_list<ItemId>> transactions,
+    size_t num_items = 0);
+
+/// Parameters for random database generation in property tests.
+struct RandomDbParams {
+  size_t num_items = 8;
+  size_t num_transactions = 40;
+  /// Each (transaction, item) pair is included independently with this
+  /// probability.
+  double item_probability = 0.4;
+  uint64_t seed = 1;
+};
+
+/// Generates a dense random database (items i.i.d. per transaction). Empty
+/// transactions are kept — miners must tolerate them.
+TransactionDatabase MakeRandomDatabase(const RandomDbParams& params);
+
+/// Generates a "planted" database: `num_planted` random pattern itemsets are
+/// each injected into a fraction of transactions over light random noise, so
+/// the database has known long maximal frequent itemsets — the concentrated
+/// regime where Pincer-Search shines.
+TransactionDatabase MakePlantedDatabase(size_t num_items,
+                                        size_t num_transactions,
+                                        size_t num_planted,
+                                        size_t pattern_size,
+                                        double pattern_frequency,
+                                        double noise_probability,
+                                        uint64_t seed);
+
+}  // namespace pincer
+
+#endif  // PINCER_TESTING_DB_BUILDER_H_

@@ -1,0 +1,42 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace pincer {
+
+namespace {
+
+std::atomic<LogLevel> g_log_level{LogLevel::kOff};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(level); }
+
+LogLevel GetLogLevel() { return g_log_level.load(); }
+
+namespace internal {
+
+void LogLine(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace internal
+
+}  // namespace pincer

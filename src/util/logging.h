@@ -1,0 +1,59 @@
+// Tiny leveled logger. Mining drivers log per-pass progress at kInfo when
+// verbose mode is enabled in the options; everything is off by default so
+// library users get silent operation.
+
+#ifndef PINCER_UTIL_LOGGING_H_
+#define PINCER_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pincer {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Sets the global minimum level that is actually emitted. Defaults to kOff
+/// (silent).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Emits one formatted log line to stderr. Called by the PINCER_LOG macro;
+/// not part of the public API.
+void LogLine(LogLevel level, const std::string& message);
+
+/// Stream-collecting helper behind PINCER_LOG.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Usage: PINCER_LOG(kInfo) << "pass " << k << " candidates=" << n;
+#define PINCER_LOG(severity)                                            \
+  if (::pincer::LogLevel::severity < ::pincer::GetLogLevel()) {         \
+  } else                                                                \
+    ::pincer::internal::LogMessage(::pincer::LogLevel::severity).stream()
+
+}  // namespace pincer
+
+#endif  // PINCER_UTIL_LOGGING_H_

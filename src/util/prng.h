@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation for the Quest data generator
+// and for test-data construction. We implement our own small generator
+// (splitmix64 seeding + xoshiro256**) so that generated databases are
+// bit-identical across platforms and standard-library versions — std::mt19937
+// would be reproducible too, but std::uniform_int_distribution is not
+// specified and varies across implementations.
+
+#ifndef PINCER_UTIL_PRNG_H_
+#define PINCER_UTIL_PRNG_H_
+
+#include <cstdint>
+
+namespace pincer {
+
+/// Deterministic 64-bit PRNG (xoshiro256**) with distribution helpers whose
+/// outputs are identical on every platform for a given seed.
+class Prng {
+ public:
+  /// Seeds the generator. Any 64-bit seed is acceptable, including 0.
+  explicit Prng(uint64_t seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Returns a uniformly distributed integer in [0, bound). `bound` must be
+  /// positive. Uses rejection sampling (Lemire) so the result is unbiased.
+  uint64_t UniformUint64(uint64_t bound);
+
+  /// Returns a uniformly distributed integer in [lo, hi], inclusive.
+  /// Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Returns an exponentially distributed double with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Returns a sample from a Poisson distribution with the given mean
+  /// (> 0). Uses inversion for small means and
+  /// normal-approximation-with-rejection fallback for large means.
+  uint32_t Poisson(double mean);
+
+  /// Returns a sample from the normal distribution N(mean, stddev^2),
+  /// computed with the Box-Muller transform.
+  double Normal(double mean, double stddev);
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t state_[4];
+  // Cached second output of Box-Muller.
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_UTIL_PRNG_H_

@@ -1,0 +1,56 @@
+// StatusOr<T>: a value or an error Status, in the style of absl::StatusOr.
+
+#ifndef PINCER_UTIL_STATUSOR_H_
+#define PINCER_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace pincer {
+
+/// Holds either a T or a non-OK Status. Accessing the value of an error
+/// StatusOr is a programming error (asserted in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  /// Constructs from a value; the status is OK.
+  StatusOr(T value)  // NOLINT: implicit by design, mirrors absl::StatusOr
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_UTIL_STATUSOR_H_

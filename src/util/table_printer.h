@@ -1,0 +1,51 @@
+// Fixed-width table rendering for the benchmark harnesses: prints the same
+// row/series layout the paper's Figures 3 and 4 report.
+
+#ifndef PINCER_UTIL_TABLE_PRINTER_H_
+#define PINCER_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pincer {
+
+/// Collects rows of string cells and prints them with aligned columns and a
+/// header separator. All formatting helpers produce plain ASCII so output is
+/// diffable and greppable.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row. The number of cells must equal the number of headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Number of data rows added so far.
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string FormatDouble(double value, int precision = 2);
+
+  /// Formats an integer count.
+  static std::string FormatInt(int64_t value);
+
+  /// Formats a ratio as e.g. "3.42x"; returns "inf" when the denominator is
+  /// zero.
+  static std::string FormatRatio(double numerator, double denominator);
+
+  /// Formats a fraction as a percentage, e.g. 0.0125 -> "1.25%".
+  static std::string FormatPercent(double fraction, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_UTIL_TABLE_PRINTER_H_

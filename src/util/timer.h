@@ -1,0 +1,43 @@
+// Wall-clock stopwatch used by the mining drivers and the benchmark
+// harnesses.
+
+#ifndef PINCER_UTIL_TIMER_H_
+#define PINCER_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pincer {
+
+/// A stopwatch measuring wall-clock time from construction (or the last
+/// Restart()).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time since construction/Restart, in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time since construction/Restart, in whole microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_UTIL_TIMER_H_

@@ -1,0 +1,106 @@
+// Unit tests for the Apriori-gen join and prune procedures.
+
+#include <gtest/gtest.h>
+
+#include "apriori/apriori_gen.h"
+#include "itemset/itemset_ops.h"
+#include "testing/brute_force.h"
+#include "testing/db_builder.h"
+
+namespace pincer {
+namespace {
+
+TEST(AprioriJoin, EmptyAndSingleton) {
+  EXPECT_TRUE(AprioriJoin({}).empty());
+  EXPECT_TRUE(AprioriJoin({Itemset{0, 1}}).empty());
+}
+
+TEST(AprioriJoin, JoinsSharedPrefixPairs) {
+  const std::vector<Itemset> lk = {Itemset{0, 1}, Itemset{0, 2},
+                                   Itemset{0, 3}};
+  const std::vector<Itemset> expected = {Itemset{0, 1, 2}, Itemset{0, 1, 3},
+                                         Itemset{0, 2, 3}};
+  EXPECT_EQ(AprioriJoin(lk), expected);
+}
+
+TEST(AprioriJoin, OneItemsetsJoinOnEmptyPrefix) {
+  const std::vector<Itemset> l1 = {Itemset{0}, Itemset{1}, Itemset{2}};
+  const std::vector<Itemset> expected = {Itemset{0, 1}, Itemset{0, 2},
+                                         Itemset{1, 2}};
+  EXPECT_EQ(AprioriJoin(l1), expected);
+}
+
+TEST(AprioriJoin, BreaksAtPrefixBoundary) {
+  const std::vector<Itemset> lk = {Itemset{0, 1}, Itemset{1, 2},
+                                   Itemset{1, 3}};
+  // {0,1} joins with nothing ({1,*} has a different 1-prefix).
+  const std::vector<Itemset> expected = {Itemset{1, 2, 3}};
+  EXPECT_EQ(AprioriJoin(lk), expected);
+}
+
+TEST(AprioriPrune, RemovesCandidatesWithInfrequentSubsets) {
+  const ItemsetSet l2(
+      {Itemset{0, 1}, Itemset{0, 2}, Itemset{1, 2}, Itemset{1, 3}});
+  std::vector<Itemset> candidates = {Itemset{0, 1, 2}, Itemset{0, 1, 3}};
+  // {0,1,3}: subset {0,3} not in L2 -> pruned.
+  const std::vector<Itemset> expected = {Itemset{0, 1, 2}};
+  EXPECT_EQ(AprioriPrune(std::move(candidates), l2), expected);
+}
+
+TEST(AprioriGen, EndToEnd) {
+  // Classic example: L2 = {12,13,14,23,24} (items renamed 1..4).
+  const std::vector<Itemset> l2 = {Itemset{1, 2}, Itemset{1, 3},
+                                   Itemset{1, 4}, Itemset{2, 3},
+                                   Itemset{2, 4}};
+  // Join gives {123,124,134,234}; prune removes {134} (34 infrequent) and
+  // {234} (34 infrequent).
+  const std::vector<Itemset> expected = {Itemset{1, 2, 3}, Itemset{1, 2, 4}};
+  EXPECT_EQ(AprioriGen(l2), expected);
+}
+
+TEST(AprioriGen, NoJoinableItemsets) {
+  const std::vector<Itemset> lk = {Itemset{0, 1}, Itemset{2, 3}};
+  EXPECT_TRUE(AprioriGen(lk).empty());
+}
+
+// Definition-level property: on realizable frequent levels, Apriori-gen
+// produces exactly the (k+1)-itemsets all of whose k-subsets are in L_k.
+TEST(AprioriGen, MatchesDefinitionOnRealizableLevels) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    RandomDbParams params;
+    params.num_items = 9;
+    params.num_transactions = 40;
+    params.item_probability = 0.5;
+    params.seed = seed;
+    const TransactionDatabase db = MakeRandomDatabase(params);
+    const std::vector<FrequentItemset> frequent = BruteForceFrequent(db, 0.2);
+
+    for (size_t k = 2; k <= 4; ++k) {
+      std::vector<Itemset> lk;
+      for (const FrequentItemset& fi : frequent) {
+        if (fi.itemset.size() == k) lk.push_back(fi.itemset);
+      }
+      const ItemsetSet lk_set(lk);
+
+      // Reference: enumerate every (k+1)-itemset over the universe and keep
+      // those whose k-subsets are all in L_k.
+      std::vector<Itemset> expected;
+      for (const Itemset& candidate :
+           Itemset::Full(9).SubsetsOfSize(k + 1)) {
+        bool all_in = true;
+        for (const Itemset& subset : candidate.SubsetsOfSize(k)) {
+          if (!lk_set.Contains(subset)) {
+            all_in = false;
+            break;
+          }
+        }
+        if (all_in) expected.push_back(candidate);
+      }
+      SortLexicographically(expected);
+      EXPECT_EQ(AprioriGen(lk), expected) << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pincer

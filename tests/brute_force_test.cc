@@ -1,0 +1,71 @@
+// Sanity tests for the test oracle itself, on hand-computable databases.
+
+#include <gtest/gtest.h>
+
+#include "testing/brute_force.h"
+#include "testing/db_builder.h"
+
+namespace pincer {
+namespace {
+
+TEST(BruteForce, HandComputedFrequentSet) {
+  // D = {{0,1},{0,1},{0,2}}; min support 2/3.
+  const TransactionDatabase db = MakeDatabase({{0, 1}, {0, 1}, {0, 2}});
+  const std::vector<FrequentItemset> frequent = BruteForceFrequent(db, 0.6);
+  // Counts: {0}:3, {1}:2, {2}:1, {0,1}:2, {0,2}:1, {1,2}:0, {0,1,2}:0.
+  // Threshold ceil(0.6*3)=2 -> frequent: {0},{1},{0,1}.
+  ASSERT_EQ(frequent.size(), 3u);
+  EXPECT_EQ(frequent[0].itemset, (Itemset{0}));
+  EXPECT_EQ(frequent[0].support, 3u);
+  EXPECT_EQ(frequent[1].itemset, (Itemset{0, 1}));
+  EXPECT_EQ(frequent[1].support, 2u);
+  EXPECT_EQ(frequent[2].itemset, (Itemset{1}));
+}
+
+TEST(BruteForce, HandComputedMaximalSet) {
+  const TransactionDatabase db = MakeDatabase({{0, 1}, {0, 1}, {0, 2}});
+  const std::vector<FrequentItemset> maximal = BruteForceMaximal(db, 0.6);
+  ASSERT_EQ(maximal.size(), 1u);
+  EXPECT_EQ(maximal[0].itemset, (Itemset{0, 1}));
+}
+
+TEST(BruteForce, MaximalElementsHaveNoFrequentSupersets) {
+  const TransactionDatabase db =
+      MakeDatabase({{0, 1, 2}, {0, 1, 2}, {0, 1}, {2, 3}, {2, 3}});
+  const std::vector<FrequentItemset> frequent = BruteForceFrequent(db, 0.4);
+  const std::vector<FrequentItemset> maximal = BruteForceMaximal(db, 0.4);
+  for (const FrequentItemset& m : maximal) {
+    for (const FrequentItemset& f : frequent) {
+      if (f.itemset.size() > m.itemset.size()) {
+        EXPECT_FALSE(m.itemset.IsSubsetOf(f.itemset));
+      }
+    }
+  }
+  // And every frequent itemset is covered by some maximal one.
+  for (const FrequentItemset& f : frequent) {
+    bool covered = false;
+    for (const FrequentItemset& m : maximal) {
+      if (f.itemset.IsSubsetOf(m.itemset)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << f.itemset;
+  }
+}
+
+TEST(BruteForce, EmptyDatabase) {
+  TransactionDatabase db(4);
+  EXPECT_TRUE(BruteForceFrequent(db, 0.5).empty());
+  EXPECT_TRUE(BruteForceMaximal(db, 0.5).empty());
+}
+
+TEST(BruteForce, MinSupportZeroStillRequiresOneOccurrence) {
+  const TransactionDatabase db = MakeDatabase({{0}}, /*num_items=*/2);
+  const std::vector<FrequentItemset> frequent = BruteForceFrequent(db, 0.0);
+  ASSERT_EQ(frequent.size(), 1u);
+  EXPECT_EQ(frequent[0].itemset, (Itemset{0}));
+}
+
+}  // namespace
+}  // namespace pincer

@@ -1,0 +1,83 @@
+// Direct tests for the shared CandidateTrie structure.
+
+#include <gtest/gtest.h>
+
+#include "counting/candidate_trie.h"
+#include "util/prng.h"
+
+namespace pincer {
+namespace {
+
+TEST(CandidateTrie, CountsMixedLengthCandidates) {
+  CandidateTrie trie;
+  trie.Insert(Itemset{1}, 0);
+  trie.Insert(Itemset{1, 3}, 1);
+  trie.Insert(Itemset{1, 3, 5}, 2);
+  trie.Insert(Itemset{2, 4}, 3);
+
+  std::vector<uint64_t> counts(4, 0);
+  trie.CountTransaction({1, 3, 5}, counts);
+  EXPECT_EQ(counts, (std::vector<uint64_t>{1, 1, 1, 0}));
+  trie.CountTransaction({1, 2, 3, 4}, counts);
+  EXPECT_EQ(counts, (std::vector<uint64_t>{2, 2, 1, 1}));
+}
+
+TEST(CandidateTrie, SharedPrefixesCountIndependently) {
+  CandidateTrie trie;
+  trie.Insert(Itemset{0, 1, 2}, 0);
+  trie.Insert(Itemset{0, 1, 3}, 1);
+  std::vector<uint64_t> counts(2, 0);
+  trie.CountTransaction({0, 1, 3}, counts);
+  EXPECT_EQ(counts, (std::vector<uint64_t>{0, 1}));
+}
+
+TEST(CandidateTrie, DuplicateInsertsBothCount) {
+  CandidateTrie trie;
+  trie.Insert(Itemset{2, 4}, 0);
+  trie.Insert(Itemset{2, 4}, 1);
+  std::vector<uint64_t> counts(2, 0);
+  trie.CountTransaction({1, 2, 3, 4}, counts);
+  EXPECT_EQ(counts, (std::vector<uint64_t>{1, 1}));
+}
+
+TEST(CandidateTrie, EmptyTrieIsANoOp) {
+  CandidateTrie trie;
+  std::vector<uint64_t> counts;
+  trie.CountTransaction({0, 1, 2}, counts);  // must not crash
+  EXPECT_TRUE(counts.empty());
+}
+
+TEST(CandidateTrie, ExhaustiveAgainstDirectContainment) {
+  Prng prng(3);
+  std::vector<Itemset> candidates;
+  for (int i = 0; i < 120; ++i) {
+    std::vector<ItemId> items;
+    const size_t len = 1 + prng.UniformUint64(5);
+    for (size_t j = 0; j < len; ++j) {
+      items.push_back(static_cast<ItemId>(prng.UniformUint64(15)));
+    }
+    candidates.push_back(Itemset(std::move(items)));
+  }
+  CandidateTrie trie;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    trie.Insert(candidates[i], i);
+  }
+
+  for (int trial = 0; trial < 40; ++trial) {
+    Transaction transaction;
+    for (ItemId item = 0; item < 15; ++item) {
+      if (prng.Bernoulli(0.5)) transaction.push_back(item);
+    }
+    std::vector<uint64_t> counts(candidates.size(), 0);
+    trie.CountTransaction(transaction, counts);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const bool contained =
+          std::includes(transaction.begin(), transaction.end(),
+                        candidates[i].begin(), candidates[i].end());
+      EXPECT_EQ(counts[i], contained ? 1u : 0u) << candidates[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pincer

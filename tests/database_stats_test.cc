@@ -1,0 +1,42 @@
+// Unit tests for database statistics.
+
+#include <gtest/gtest.h>
+
+#include "data/database_stats.h"
+#include "testing/db_builder.h"
+
+namespace pincer {
+namespace {
+
+TEST(DatabaseStats, ComputesShape) {
+  const TransactionDatabase db =
+      MakeDatabase({{0, 1, 2}, {1}, {1, 3}}, /*num_items=*/6);
+  const DatabaseStats stats = ComputeStats(db);
+  EXPECT_EQ(stats.num_transactions, 3u);
+  EXPECT_EQ(stats.num_items, 6u);
+  EXPECT_EQ(stats.num_active_items, 4u);  // 0,1,2,3
+  EXPECT_DOUBLE_EQ(stats.avg_transaction_size, 2.0);
+  EXPECT_EQ(stats.min_transaction_size, 1u);
+  EXPECT_EQ(stats.max_transaction_size, 3u);
+  ASSERT_EQ(stats.item_supports.size(), 6u);
+  EXPECT_EQ(stats.item_supports[1], 3u);
+  EXPECT_EQ(stats.item_supports[5], 0u);
+}
+
+TEST(DatabaseStats, EmptyDatabase) {
+  const TransactionDatabase db(4);
+  const DatabaseStats stats = ComputeStats(db);
+  EXPECT_EQ(stats.num_transactions, 0u);
+  EXPECT_EQ(stats.num_active_items, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_transaction_size, 0.0);
+}
+
+TEST(DatabaseStats, ToStringMentionsKeyNumbers) {
+  const TransactionDatabase db = MakeDatabase({{0, 1}});
+  const std::string rendered = ComputeStats(db).ToString();
+  EXPECT_NE(rendered.find("transactions: 1"), std::string::npos);
+  EXPECT_NE(rendered.find("avg transaction size: 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pincer

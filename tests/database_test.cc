@@ -1,0 +1,89 @@
+// Unit tests for TransactionDatabase.
+
+#include <gtest/gtest.h>
+
+#include "data/database.h"
+#include "testing/db_builder.h"
+
+namespace pincer {
+namespace {
+
+TEST(TransactionDatabase, StartsEmpty) {
+  const TransactionDatabase db(10);
+  EXPECT_TRUE(db.empty());
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_EQ(db.num_items(), 10u);
+}
+
+TEST(TransactionDatabase, AddNormalizesTransactions) {
+  TransactionDatabase db(10);
+  db.AddTransaction({5, 2, 5, 9, 2});
+  ASSERT_EQ(db.size(), 1u);
+  const Transaction expected = {2, 5, 9};
+  EXPECT_EQ(db.transaction(0), expected);
+}
+
+TEST(TransactionDatabase, SupportsQueries) {
+  const TransactionDatabase db = MakeDatabase({{0, 1, 2}, {1, 2}, {2}});
+  EXPECT_TRUE(db.Supports(0, Itemset{0, 2}));
+  EXPECT_FALSE(db.Supports(1, Itemset{0}));
+  EXPECT_TRUE(db.Supports(2, Itemset{}));  // empty itemset always supported
+}
+
+TEST(TransactionDatabase, CountSupportAndFraction) {
+  const TransactionDatabase db =
+      MakeDatabase({{0, 1}, {0, 1, 2}, {1, 2}, {0}});
+  EXPECT_EQ(db.CountSupport(Itemset{0}), 3u);
+  EXPECT_EQ(db.CountSupport(Itemset{0, 1}), 2u);
+  EXPECT_EQ(db.CountSupport(Itemset{0, 1, 2}), 1u);
+  EXPECT_EQ(db.CountSupport(Itemset{3}), 0u);
+  EXPECT_DOUBLE_EQ(db.Support(Itemset{0}), 0.75);
+}
+
+TEST(TransactionDatabase, SupportOnEmptyDatabaseIsZero) {
+  const TransactionDatabase db(3);
+  EXPECT_DOUBLE_EQ(db.Support(Itemset{0}), 0.0);
+}
+
+TEST(TransactionDatabase, MinSupportCountCeilsAndClamps) {
+  TransactionDatabase db(2);
+  for (int i = 0; i < 10; ++i) db.AddTransaction({0});
+  EXPECT_EQ(db.MinSupportCount(0.25), 3u);   // ceil(2.5)
+  EXPECT_EQ(db.MinSupportCount(0.3), 3u);    // exact
+  EXPECT_EQ(db.MinSupportCount(0.0), 1u);    // clamped to 1
+  EXPECT_EQ(db.MinSupportCount(1.0), 10u);
+}
+
+TEST(TransactionDatabase, BitsetsMatchTransactions) {
+  const TransactionDatabase db = MakeDatabase({{0, 3}, {1}});
+  const DynamicBitset& bits = db.transaction_bits(0);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_TRUE(bits.Test(3));
+}
+
+TEST(TransactionDatabase, BitsetCacheInvalidatedByMutation) {
+  TransactionDatabase db(4);
+  db.AddTransaction({0});
+  db.EnsureBitsets();
+  db.AddTransaction({1, 2});
+  EXPECT_TRUE(db.transaction_bits(1).Test(2));
+}
+
+TEST(TransactionDatabase, TotalItemOccurrences) {
+  const TransactionDatabase db = MakeDatabase({{0, 1}, {2}, {}});
+  // The empty transaction is dropped by MakeDatabase? No: AddTransaction
+  // keeps empty transactions; MakeDatabase passes them through.
+  EXPECT_EQ(db.TotalItemOccurrences(), 3u);
+}
+
+TEST(TransactionDatabase, EmptyTransactionsAreKept) {
+  TransactionDatabase db(3);
+  db.AddTransaction({});
+  db.AddTransaction({1});
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_TRUE(db.transaction(0).empty());
+}
+
+}  // namespace
+}  // namespace pincer

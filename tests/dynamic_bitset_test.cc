@@ -1,0 +1,103 @@
+// Unit tests for DynamicBitset.
+
+#include <gtest/gtest.h>
+
+#include "itemset/dynamic_bitset.h"
+
+namespace pincer {
+namespace {
+
+TEST(DynamicBitset, StartsAllZero) {
+  const DynamicBitset bits(100);
+  EXPECT_EQ(bits.size(), 100u);
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_TRUE(bits.None());
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(bits.Test(i));
+}
+
+TEST(DynamicBitset, SetResetTest) {
+  DynamicBitset bits(70);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(69);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(69));
+  EXPECT_EQ(bits.Count(), 4u);
+  bits.Reset(63);
+  EXPECT_FALSE(bits.Test(63));
+  EXPECT_EQ(bits.Count(), 3u);
+}
+
+TEST(DynamicBitset, ClearKeepsSize) {
+  DynamicBitset bits(10);
+  bits.Set(3);
+  bits.Clear();
+  EXPECT_EQ(bits.size(), 10u);
+  EXPECT_TRUE(bits.None());
+}
+
+TEST(DynamicBitset, SubsetRelation) {
+  DynamicBitset small(128), big(128);
+  small.Set(5);
+  small.Set(100);
+  big.Set(5);
+  big.Set(100);
+  big.Set(64);
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_TRUE(DynamicBitset(128).IsSubsetOf(small));
+}
+
+TEST(DynamicBitset, Intersects) {
+  DynamicBitset a(80), b(80);
+  a.Set(70);
+  b.Set(71);
+  EXPECT_FALSE(a.Intersects(b));
+  b.Set(70);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(DynamicBitset, AndOrOperators) {
+  DynamicBitset a(10), b(10);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  DynamicBitset and_result = a;
+  and_result &= b;
+  EXPECT_EQ(and_result.Count(), 1u);
+  EXPECT_TRUE(and_result.Test(2));
+  DynamicBitset or_result = a;
+  or_result |= b;
+  EXPECT_EQ(or_result.Count(), 3u);
+}
+
+TEST(DynamicBitset, IntersectionCount) {
+  DynamicBitset a(200), b(200);
+  for (size_t i = 0; i < 200; i += 3) a.Set(i);
+  for (size_t i = 0; i < 200; i += 5) b.Set(i);
+  // Multiples of 15 under 200: 0,15,...,195 -> 14 values.
+  EXPECT_EQ(a.IntersectionCount(b), 14u);
+}
+
+TEST(DynamicBitset, Equality) {
+  DynamicBitset a(8), b(8);
+  EXPECT_TRUE(a == b);
+  a.Set(7);
+  EXPECT_FALSE(a == b);
+  b.Set(7);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(DynamicBitset, ZeroSize) {
+  const DynamicBitset bits(0);
+  EXPECT_EQ(bits.size(), 0u);
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+}  // namespace
+}  // namespace pincer

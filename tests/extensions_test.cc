@@ -1,0 +1,176 @@
+// Tests for the related-work extension algorithms of §5: Partition
+// (Savasere et al.) and Sampling (Toivonen), including the negative-border
+// computation.
+
+#include <gtest/gtest.h>
+
+#include "extensions/partition.h"
+#include "extensions/sampling.h"
+#include "itemset/itemset_set.h"
+#include "testing/brute_force.h"
+#include "testing/db_builder.h"
+
+namespace pincer {
+namespace {
+
+MiningOptions WithSupport(double min_support) {
+  MiningOptions options;
+  options.min_support = min_support;
+  return options;
+}
+
+// ---- Partition ----
+
+TEST(Partition, MatchesBruteForceAcrossPartitionCounts) {
+  RandomDbParams params;
+  params.num_items = 8;
+  params.num_transactions = 60;
+  params.item_probability = 0.45;
+  params.seed = 5;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  const std::vector<FrequentItemset> oracle = BruteForceFrequent(db, 0.2);
+
+  for (size_t partitions : {size_t{1}, size_t{2}, size_t{4}, size_t{7}}) {
+    PartitionOptions popts;
+    popts.num_partitions = partitions;
+    EXPECT_EQ(PartitionMine(db, WithSupport(0.2), popts).frequent, oracle)
+        << partitions << " partitions";
+  }
+}
+
+TEST(Partition, AlwaysTwoPasses) {
+  RandomDbParams params;
+  params.num_items = 8;
+  params.num_transactions = 40;
+  params.seed = 6;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  const FrequentSetResult result = PartitionMine(db, WithSupport(0.15));
+  EXPECT_EQ(result.stats.passes, 2u);
+}
+
+TEST(Partition, MorePartitionsThanTransactions) {
+  const TransactionDatabase db = MakeDatabase({{0, 1}, {0, 1}, {2}});
+  PartitionOptions popts;
+  popts.num_partitions = 100;
+  const FrequentSetResult result =
+      PartitionMine(db, WithSupport(0.5), popts);
+  EXPECT_EQ(result.frequent, BruteForceFrequent(db, 0.5));
+}
+
+TEST(Partition, EmptyDatabase) {
+  TransactionDatabase db(4);
+  EXPECT_TRUE(PartitionMine(db, WithSupport(0.5)).frequent.empty());
+}
+
+// ---- Negative border ----
+
+TEST(NegativeBorder, EmptyFamilyIsAllSingletons) {
+  const std::vector<Itemset> border = NegativeBorder({}, 3);
+  const std::vector<Itemset> expected = {Itemset{0}, Itemset{1}, Itemset{2}};
+  EXPECT_EQ(border, expected);
+}
+
+TEST(NegativeBorder, HandComputed) {
+  // Family: {0}, {1}, {2}, {0,1} over 3 items (downward closed).
+  const std::vector<Itemset> family = {Itemset{0}, Itemset{0, 1}, Itemset{1},
+                                       Itemset{2}};
+  const std::vector<Itemset> border = NegativeBorder(family, 3);
+  // Minimal non-members: {0,2}, {1,2} (both subsets in family). {0,1,2} is
+  // not minimal ({0,2} missing).
+  const std::vector<Itemset> expected = {Itemset{0, 2}, Itemset{1, 2}};
+  EXPECT_EQ(border, expected);
+}
+
+TEST(NegativeBorder, FullLatticeHasBorderOneLevelUp) {
+  // Family = all subsets of {0,1,2} within a 4-item universe.
+  std::vector<Itemset> family;
+  const Itemset full{0, 1, 2};
+  for (size_t k = 1; k <= 3; ++k) {
+    for (const Itemset& subset : full.SubsetsOfSize(k)) {
+      family.push_back(subset);
+    }
+  }
+  std::sort(family.begin(), family.end());
+  const std::vector<Itemset> border = NegativeBorder(family, 4);
+  // {3} is the missing singleton; no 2-itemsets qualify ({x,3} needs {3}).
+  const std::vector<Itemset> expected = {Itemset{3}};
+  EXPECT_EQ(border, expected);
+}
+
+TEST(NegativeBorder, BorderElementsAreMinimalNonMembers) {
+  RandomDbParams params;
+  params.num_items = 7;
+  params.num_transactions = 40;
+  params.seed = 9;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  const std::vector<Itemset> family =
+      ItemsetsOf(BruteForceFrequent(db, 0.25));
+  const ItemsetSet members(family);
+  for (const Itemset& b : NegativeBorder(family, 7)) {
+    EXPECT_FALSE(members.Contains(b));
+    for (size_t k = 1; k < b.size(); ++k) {
+      for (const Itemset& subset : b.SubsetsOfSize(b.size() - 1)) {
+        EXPECT_TRUE(members.Contains(subset))
+            << subset << " missing under border element " << b;
+      }
+      break;  // only the (size-1)-level needs checking for minimality
+    }
+  }
+}
+
+// ---- Sampling ----
+
+TEST(Sampling, MatchesBruteForceAcrossSeeds) {
+  RandomDbParams params;
+  params.num_items = 8;
+  params.num_transactions = 120;
+  params.item_probability = 0.4;
+  params.seed = 11;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  const std::vector<FrequentItemset> oracle = BruteForceFrequent(db, 0.2);
+
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    SamplingOptions sopts;
+    sopts.sample_fraction = 0.3;
+    sopts.seed = seed;
+    EXPECT_EQ(SamplingMine(db, WithSupport(0.2), sopts).frequent, oracle)
+        << "sample seed " << seed;
+  }
+}
+
+TEST(Sampling, UsuallyOneFullPass) {
+  // With a generous sample and lowered threshold, misses should be rare and
+  // the algorithm should verify in a single full pass.
+  RandomDbParams params;
+  params.num_items = 8;
+  params.num_transactions = 200;
+  params.seed = 3;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  SamplingOptions sopts;
+  sopts.sample_fraction = 0.5;
+  sopts.lowered_factor = 0.6;
+  const FrequentSetResult result = SamplingMine(db, WithSupport(0.25), sopts);
+  EXPECT_EQ(result.frequent, BruteForceFrequent(db, 0.25));
+  EXPECT_LE(result.stats.passes, 2u);
+}
+
+TEST(Sampling, TinySampleStillExact) {
+  RandomDbParams params;
+  params.num_items = 7;
+  params.num_transactions = 100;
+  params.seed = 8;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  SamplingOptions sopts;
+  sopts.sample_fraction = 0.05;  // likely misses -> correction rounds
+  sopts.seed = 4;
+  EXPECT_EQ(SamplingMine(db, WithSupport(0.3), sopts).frequent,
+            BruteForceFrequent(db, 0.3));
+}
+
+TEST(Sampling, EmptyDatabase) {
+  TransactionDatabase db(4);
+  EXPECT_TRUE(SamplingMine(db, WithSupport(0.5)).frequent.empty());
+}
+
+}  // namespace
+}  // namespace pincer

@@ -1,0 +1,80 @@
+// Unit tests for the hash tree structure itself (the HashTreeCounter is
+// covered by the cross-backend suite in counting_test.cc).
+
+#include <gtest/gtest.h>
+
+#include "counting/hash_tree.h"
+#include "testing/db_builder.h"
+#include "util/prng.h"
+
+namespace pincer {
+namespace {
+
+TEST(HashTree, CountsContainedCandidates) {
+  HashTree tree(/*candidate_size=*/2);
+  tree.Insert(Itemset{0, 1}, 0);
+  tree.Insert(Itemset{1, 2}, 1);
+  tree.Insert(Itemset{0, 3}, 2);
+  std::vector<uint64_t> counts(3, 0);
+  tree.CountTransaction({0, 1, 2}, counts);
+  EXPECT_EQ(counts, (std::vector<uint64_t>{1, 1, 0}));
+  tree.CountTransaction({0, 1, 3}, counts);
+  EXPECT_EQ(counts, (std::vector<uint64_t>{2, 1, 1}));
+}
+
+TEST(HashTree, ShortTransactionsAreSkipped) {
+  HashTree tree(/*candidate_size=*/3);
+  tree.Insert(Itemset{0, 1, 2}, 0);
+  std::vector<uint64_t> counts(1, 0);
+  tree.CountTransaction({0, 1}, counts);
+  EXPECT_EQ(counts[0], 0u);
+}
+
+TEST(HashTree, SplitsAndStaysCorrectUnderLoad) {
+  // Insert many candidates to force leaf splits at every level, with a tiny
+  // leaf capacity; then check counting against a direct subset test.
+  constexpr size_t kNumItems = 20;
+  HashTree tree(/*candidate_size=*/3, /*fanout=*/4, /*leaf_capacity=*/2);
+  std::vector<Itemset> candidates;
+  for (ItemId a = 0; a < kNumItems; a += 2) {
+    for (ItemId b = a + 1; b < kNumItems; b += 3) {
+      for (ItemId c = b + 1; c < kNumItems; c += 4) {
+        candidates.push_back(Itemset{a, b, c});
+        tree.Insert(candidates.back(), candidates.size() - 1);
+      }
+    }
+  }
+  ASSERT_GT(candidates.size(), 30u);
+
+  Prng prng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    Transaction transaction;
+    for (ItemId item = 0; item < kNumItems; ++item) {
+      if (prng.Bernoulli(0.4)) transaction.push_back(item);
+    }
+    std::vector<uint64_t> counts(candidates.size(), 0);
+    tree.CountTransaction(transaction, counts);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const bool contained = std::includes(
+          transaction.begin(), transaction.end(), candidates[i].begin(),
+          candidates[i].end());
+      EXPECT_EQ(counts[i], contained ? 1u : 0u) << candidates[i];
+    }
+  }
+}
+
+TEST(HashTree, DeepSplitBeyondCandidateSizeAccumulates) {
+  // With capacity 1 and identical-prefix candidates, splitting bottoms out
+  // at depth == candidate_size; entries must accumulate without recursing
+  // forever.
+  HashTree tree(/*candidate_size=*/2, /*fanout=*/2, /*leaf_capacity=*/1);
+  tree.Insert(Itemset{0, 2}, 0);
+  tree.Insert(Itemset{0, 4}, 1);  // 2 and 4 hash equally with fanout 2
+  tree.Insert(Itemset{0, 6}, 2);
+  std::vector<uint64_t> counts(3, 0);
+  tree.CountTransaction({0, 2, 4, 6}, counts);
+  EXPECT_EQ(counts, (std::vector<uint64_t>{1, 1, 1}));
+}
+
+}  // namespace
+}  // namespace pincer

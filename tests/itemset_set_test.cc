@@ -1,0 +1,52 @@
+// Unit tests for ItemsetSet.
+
+#include <gtest/gtest.h>
+
+#include "itemset/itemset_set.h"
+
+namespace pincer {
+namespace {
+
+TEST(ItemsetSet, InsertEraseContains) {
+  ItemsetSet set;
+  EXPECT_TRUE(set.empty());
+  EXPECT_TRUE(set.Insert(Itemset{1, 2}));
+  EXPECT_FALSE(set.Insert(Itemset{1, 2}));
+  EXPECT_TRUE(set.Contains(Itemset{1, 2}));
+  EXPECT_FALSE(set.Contains(Itemset{1, 3}));
+  EXPECT_TRUE(set.Erase(Itemset{1, 2}));
+  EXPECT_FALSE(set.Erase(Itemset{1, 2}));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(ItemsetSet, ConstructFromVectorDeduplicates) {
+  const ItemsetSet set({Itemset{1}, Itemset{2}, Itemset{1}});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ItemsetSet, SortedIsDeterministic) {
+  const ItemsetSet set({Itemset{3}, Itemset{1, 2}, Itemset{1}});
+  const std::vector<Itemset> sorted = set.Sorted();
+  const std::vector<Itemset> expected = {Itemset{1}, Itemset{1, 2},
+                                         Itemset{3}};
+  EXPECT_EQ(sorted, expected);
+}
+
+TEST(ItemsetSet, ClearEmpties) {
+  ItemsetSet set({Itemset{1}});
+  set.Clear();
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(ItemsetSet, IterationVisitsAllElements) {
+  const ItemsetSet set({Itemset{1}, Itemset{2, 3}});
+  size_t visited = 0;
+  for (const Itemset& itemset : set) {
+    EXPECT_TRUE(set.Contains(itemset));
+    ++visited;
+  }
+  EXPECT_EQ(visited, 2u);
+}
+
+}  // namespace
+}  // namespace pincer

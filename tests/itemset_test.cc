@@ -1,0 +1,136 @@
+// Unit tests for the Itemset value type.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "itemset/itemset.h"
+
+namespace pincer {
+namespace {
+
+TEST(Itemset, DefaultIsEmpty) {
+  const Itemset empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+}
+
+TEST(Itemset, SortsAndDeduplicatesOnConstruction) {
+  const Itemset itemset{5, 1, 3, 1, 5};
+  EXPECT_EQ(itemset.size(), 3u);
+  EXPECT_EQ(itemset[0], 1u);
+  EXPECT_EQ(itemset[1], 3u);
+  EXPECT_EQ(itemset[2], 5u);
+}
+
+TEST(Itemset, FromSortedSkipsNormalization) {
+  const Itemset itemset = Itemset::FromSorted({2, 4, 9});
+  EXPECT_EQ(itemset, (Itemset{2, 4, 9}));
+}
+
+TEST(Itemset, FullCoversUniverse) {
+  const Itemset full = Itemset::Full(4);
+  EXPECT_EQ(full, (Itemset{0, 1, 2, 3}));
+  EXPECT_TRUE(Itemset::Full(0).empty());
+}
+
+TEST(Itemset, Contains) {
+  const Itemset itemset{1, 4, 7};
+  EXPECT_TRUE(itemset.Contains(4));
+  EXPECT_FALSE(itemset.Contains(5));
+  EXPECT_FALSE(Itemset().Contains(0));
+}
+
+TEST(Itemset, SubsetRelation) {
+  const Itemset small{1, 3};
+  const Itemset big{0, 1, 2, 3};
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  EXPECT_TRUE(Itemset().IsSubsetOf(small));
+  EXPECT_FALSE((Itemset{1, 5}).IsSubsetOf(big));
+}
+
+TEST(Itemset, SharesPrefix) {
+  const Itemset a{1, 2, 5};
+  const Itemset b{1, 2, 9};
+  EXPECT_TRUE(a.SharesPrefix(b, 2));
+  EXPECT_FALSE(a.SharesPrefix(b, 3));
+  EXPECT_TRUE(a.SharesPrefix(b, 0));
+  EXPECT_FALSE(a.SharesPrefix(Itemset{1}, 2));  // other too short
+}
+
+TEST(Itemset, SetAlgebra) {
+  const Itemset a{1, 2, 3};
+  const Itemset b{3, 4};
+  EXPECT_EQ(a.Union(b), (Itemset{1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), (Itemset{3}));
+  EXPECT_EQ(a.Difference(b), (Itemset{1, 2}));
+  EXPECT_EQ(b.Difference(a), (Itemset{4}));
+}
+
+TEST(Itemset, WithoutItem) {
+  const Itemset itemset{1, 2, 3};
+  EXPECT_EQ(itemset.WithoutItem(2), (Itemset{1, 3}));
+  EXPECT_EQ(itemset.WithoutItem(9), itemset);
+  EXPECT_TRUE((Itemset{5}).WithoutItem(5).empty());
+}
+
+TEST(Itemset, WithItem) {
+  const Itemset itemset{1, 3};
+  EXPECT_EQ(itemset.WithItem(2), (Itemset{1, 2, 3}));
+  EXPECT_EQ(itemset.WithItem(3), itemset);
+  EXPECT_EQ(Itemset().WithItem(7), (Itemset{7}));
+}
+
+TEST(Itemset, PrefixAndIndexOf) {
+  const Itemset itemset{2, 4, 6, 8};
+  EXPECT_EQ(itemset.Prefix(2), (Itemset{2, 4}));
+  EXPECT_TRUE(itemset.Prefix(0).empty());
+  EXPECT_EQ(itemset.IndexOf(6), 2);
+  EXPECT_EQ(itemset.IndexOf(5), -1);
+}
+
+TEST(Itemset, SubsetsOfSize) {
+  const Itemset itemset{1, 2, 3};
+  const std::vector<Itemset> pairs = itemset.SubsetsOfSize(2);
+  const std::vector<Itemset> expected = {Itemset{1, 2}, Itemset{1, 3},
+                                         Itemset{2, 3}};
+  EXPECT_EQ(pairs, expected);
+  EXPECT_EQ(itemset.SubsetsOfSize(3), std::vector<Itemset>{itemset});
+  EXPECT_TRUE(itemset.SubsetsOfSize(4).empty());
+  EXPECT_EQ(itemset.SubsetsOfSize(1).size(), 3u);
+}
+
+TEST(Itemset, SubsetsOfSizeCountMatchesBinomial) {
+  const Itemset itemset{0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(itemset.SubsetsOfSize(3).size(), 20u);  // C(6,3)
+}
+
+TEST(Itemset, LexicographicOrder) {
+  EXPECT_TRUE((Itemset{1, 2}) < (Itemset{1, 3}));
+  EXPECT_TRUE((Itemset{1, 2}) < (Itemset{1, 2, 3}));
+  EXPECT_TRUE((Itemset{1}) < (Itemset{2}));
+}
+
+TEST(Itemset, ToStringAndStream) {
+  EXPECT_EQ((Itemset{1, 3, 7}).ToString(), "{1, 3, 7}");
+  EXPECT_EQ(Itemset().ToString(), "{}");
+  std::ostringstream os;
+  os << Itemset{2};
+  EXPECT_EQ(os.str(), "{2}");
+}
+
+TEST(Itemset, HashIsUsableAndConsistent) {
+  std::unordered_set<Itemset, ItemsetHash> set;
+  set.insert(Itemset{1, 2});
+  set.insert(Itemset{2, 1});  // same set
+  set.insert(Itemset{1, 3});
+  EXPECT_EQ(set.size(), 2u);
+  const ItemsetHash hash;
+  EXPECT_EQ(hash(Itemset{4, 5}), hash(Itemset{5, 4}));
+}
+
+}  // namespace
+}  // namespace pincer

@@ -1,0 +1,51 @@
+// Tests for the leveled logger.
+
+#include <gtest/gtest.h>
+
+#include "util/logging.h"
+
+namespace pincer {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kOff); }
+};
+
+TEST_F(LoggingTest, DefaultLevelIsOff) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotEvaluateStream) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  PINCER_LOG(kDebug) << "value " << expensive();
+  EXPECT_EQ(evaluations, 0);
+  PINCER_LOG(kError) << "value " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, OffSuppressesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  PINCER_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace pincer

@@ -1,0 +1,136 @@
+// Unit tests for the Mfcs container and the MFCS-gen update algorithm,
+// including the Definition-1 invariants.
+
+#include <gtest/gtest.h>
+
+#include "core/mfcs.h"
+#include "itemset/itemset_ops.h"
+
+namespace pincer {
+namespace {
+
+// Builds an Mfs holding the given itemsets (supports irrelevant here).
+Mfs MfsOf(std::initializer_list<Itemset> itemsets) {
+  Mfs mfs;
+  for (const Itemset& itemset : itemsets) mfs.Add(itemset, 1);
+  return mfs;
+}
+
+TEST(Mfcs, InitializesWithFullItemset) {
+  Mfcs mfcs(5);
+  ASSERT_EQ(mfcs.size(), 1u);
+  EXPECT_EQ(mfcs.elements()[0], (Itemset{0, 1, 2, 3, 4}));
+}
+
+TEST(Mfcs, ZeroItemsYieldsEmpty) {
+  Mfcs mfcs(0);
+  EXPECT_TRUE(mfcs.empty());
+}
+
+TEST(Mfcs, UpdateSplitsOnInfrequentSingleton) {
+  Mfcs mfcs(4);
+  mfcs.Update({Itemset{2}}, Mfs());
+  ASSERT_EQ(mfcs.size(), 1u);
+  EXPECT_EQ(mfcs.elements()[0], (Itemset{0, 1, 3}));
+}
+
+TEST(Mfcs, UpdateSplitsElementOnItself) {
+  // An infrequent MFCS element is replaced by all its one-item-removed
+  // subsets — the top-down descent step.
+  Mfcs mfcs({Itemset{0, 1, 2}});
+  mfcs.Update({Itemset{0, 1, 2}}, Mfs());
+  std::vector<Itemset> elements = mfcs.elements();
+  SortLexicographically(elements);
+  const std::vector<Itemset> expected = {Itemset{0, 1}, Itemset{0, 2},
+                                         Itemset{1, 2}};
+  EXPECT_EQ(elements, expected);
+}
+
+TEST(Mfcs, UpdateDiscardsEmptyReplacements) {
+  Mfcs mfcs({Itemset{3}});
+  mfcs.Update({Itemset{3}}, Mfs());
+  EXPECT_TRUE(mfcs.empty());
+}
+
+TEST(Mfcs, UpdateSkipsElementsNotContainingInfrequentSet) {
+  Mfcs mfcs({Itemset{0, 1}, Itemset{2, 3}});
+  mfcs.Update({Itemset{0, 2}}, Mfs());  // subset of neither element
+  EXPECT_EQ(mfcs.size(), 2u);
+}
+
+TEST(Mfcs, UpdateSuppressesReplacementsCoveredByMfs) {
+  Mfcs mfcs({Itemset{0, 1, 2}});
+  // {0,1} is already a known maximal frequent itemset: splitting {0,1,2} on
+  // {2} would produce {0,1}, which must be suppressed.
+  mfcs.Update({Itemset{2}}, MfsOf({Itemset{0, 1}}));
+  EXPECT_TRUE(mfcs.empty());
+}
+
+TEST(Mfcs, UpdateKeepsElementsPairwiseIncomparable) {
+  Mfcs mfcs(6);
+  mfcs.Update({Itemset{0, 3}, Itemset{1, 4}, Itemset{2, 5}, Itemset{0, 1}},
+              Mfs());
+  const std::vector<Itemset> elements = mfcs.elements();
+  for (size_t i = 0; i < elements.size(); ++i) {
+    for (size_t j = 0; j < elements.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(elements[i].IsSubsetOf(elements[j]))
+          << elements[i] << " within " << elements[j];
+    }
+  }
+}
+
+// Definition 1 invariants after an arbitrary batch: no element contains any
+// processed infrequent itemset; every itemset that was covered before and is
+// not a superset of an infrequent itemset remains covered.
+TEST(Mfcs, DefinitionOneInvariants) {
+  const std::vector<Itemset> infrequent = {Itemset{0, 1}, Itemset{2, 4},
+                                           Itemset{3}};
+  Mfcs mfcs(6);
+  mfcs.Update(infrequent, Mfs());
+
+  for (const Itemset& element : mfcs.elements()) {
+    for (const Itemset& bad : infrequent) {
+      EXPECT_FALSE(bad.IsSubsetOf(element))
+          << bad << " still inside " << element;
+    }
+  }
+  // Spot-check coverage: {0,2,5} contains no infrequent itemset, so some
+  // element must cover it.
+  EXPECT_TRUE(mfcs.Covers(Itemset{0, 2, 5}, Mfs()));
+  // {4,5} likewise.
+  EXPECT_TRUE(mfcs.Covers(Itemset{4, 5}, Mfs()));
+  // Anything containing {3} must not be covered.
+  EXPECT_FALSE(mfcs.Covers(Itemset{3, 5}, Mfs()));
+}
+
+TEST(Mfcs, RemoveErasesExactElement) {
+  Mfcs mfcs({Itemset{0, 1}, Itemset{2, 3}});
+  EXPECT_TRUE(mfcs.Remove(Itemset{0, 1}));
+  EXPECT_FALSE(mfcs.Remove(Itemset{0, 1}));
+  EXPECT_EQ(mfcs.size(), 1u);
+}
+
+TEST(Mfcs, CoversConsultsMfsItemsets) {
+  Mfcs mfcs({Itemset{0, 1}});
+  EXPECT_TRUE(mfcs.Covers(Itemset{4, 5}, MfsOf({Itemset{4, 5, 6}})));
+  EXPECT_FALSE(mfcs.Covers(Itemset{4, 7}, MfsOf({Itemset{4, 5, 6}})));
+}
+
+// The cascade case: one infrequent itemset's replacements are themselves
+// split by a later infrequent itemset in the same batch (the §3.2 example
+// exercises this; here is a minimal version).
+TEST(Mfcs, BatchCascades) {
+  Mfcs mfcs({Itemset{0, 1, 2, 3}});
+  mfcs.Update({Itemset{0, 1}, Itemset{2, 3}}, Mfs());
+  std::vector<Itemset> elements = mfcs.elements();
+  SortLexicographically(elements);
+  // After {0,1}: {1,2,3}, {0,2,3}. After {2,3}: each splits into two; the
+  // four survivors dedup to {0,2},{0,3},{1,2},{1,3}.
+  const std::vector<Itemset> expected = {Itemset{0, 2}, Itemset{0, 3},
+                                         Itemset{1, 2}, Itemset{1, 3}};
+  EXPECT_EQ(elements, expected);
+}
+
+}  // namespace
+}  // namespace pincer

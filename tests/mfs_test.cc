@@ -1,0 +1,72 @@
+// Unit tests for the Mfs container's maximality invariant.
+
+#include <gtest/gtest.h>
+
+#include "core/mfs.h"
+
+namespace pincer {
+namespace {
+
+TEST(Mfs, AddAndQuery) {
+  Mfs mfs;
+  EXPECT_TRUE(mfs.empty());
+  EXPECT_TRUE(mfs.Add(Itemset{0, 1, 2}, 7));
+  EXPECT_EQ(mfs.size(), 1u);
+  EXPECT_TRUE(mfs.CoveredBy(Itemset{0, 2}));
+  EXPECT_TRUE(mfs.CoveredBy(Itemset{0, 1, 2}));
+  EXPECT_FALSE(mfs.CoveredBy(Itemset{0, 3}));
+}
+
+TEST(Mfs, AddingSubsetIsNoOp) {
+  Mfs mfs;
+  mfs.Add(Itemset{0, 1, 2}, 7);
+  EXPECT_FALSE(mfs.Add(Itemset{1, 2}, 9));
+  EXPECT_EQ(mfs.size(), 1u);
+}
+
+TEST(Mfs, AddingSupersetEvictsSubsumedElements) {
+  Mfs mfs;
+  mfs.Add(Itemset{0, 1}, 9);
+  mfs.Add(Itemset{2, 3}, 8);
+  EXPECT_TRUE(mfs.Add(Itemset{0, 1, 2, 3}, 5));
+  ASSERT_EQ(mfs.size(), 1u);
+  EXPECT_EQ(mfs.elements()[0].itemset, (Itemset{0, 1, 2, 3}));
+  EXPECT_EQ(mfs.elements()[0].support, 5u);
+}
+
+TEST(Mfs, AddingDuplicateIsNoOp) {
+  Mfs mfs;
+  mfs.Add(Itemset{0, 1}, 4);
+  EXPECT_FALSE(mfs.Add(Itemset{0, 1}, 4));
+  EXPECT_EQ(mfs.size(), 1u);
+}
+
+TEST(Mfs, IncomparableElementsCoexist) {
+  Mfs mfs;
+  mfs.Add(Itemset{0, 1}, 4);
+  mfs.Add(Itemset{1, 2}, 3);
+  mfs.Add(Itemset{5}, 9);
+  EXPECT_EQ(mfs.size(), 3u);
+}
+
+TEST(Mfs, SortedReturnsLexicographicOrder) {
+  Mfs mfs;
+  mfs.Add(Itemset{4, 5}, 1);
+  mfs.Add(Itemset{0, 9}, 2);
+  mfs.Add(Itemset{2}, 3);
+  const std::vector<FrequentItemset> sorted = mfs.Sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].itemset, (Itemset{0, 9}));
+  EXPECT_EQ(sorted[1].itemset, (Itemset{2}));
+  EXPECT_EQ(sorted[2].itemset, (Itemset{4, 5}));
+}
+
+TEST(Mfs, ItemsetsStripSupports) {
+  Mfs mfs;
+  mfs.Add(Itemset{0, 1}, 4);
+  mfs.Add(Itemset{2}, 3);
+  EXPECT_EQ(mfs.Itemsets().size(), 2u);
+}
+
+}  // namespace
+}  // namespace pincer

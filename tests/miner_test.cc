@@ -1,0 +1,66 @@
+// Tests for the mining facade.
+
+#include <gtest/gtest.h>
+
+#include "mining/miner.h"
+#include "testing/brute_force.h"
+#include "testing/db_builder.h"
+
+namespace pincer {
+namespace {
+
+TEST(Miner, AlgorithmNamesRoundTrip) {
+  for (Algorithm algorithm : {Algorithm::kApriori, Algorithm::kPincer,
+                              Algorithm::kPincerAdaptive}) {
+    const StatusOr<Algorithm> parsed =
+        ParseAlgorithm(AlgorithmName(algorithm));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, algorithm);
+  }
+}
+
+TEST(Miner, ParseRejectsUnknownNames) {
+  const StatusOr<Algorithm> parsed = ParseAlgorithm("eclat");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Miner, AllAlgorithmsAgreeOnMfs) {
+  RandomDbParams params;
+  params.num_items = 9;
+  params.num_transactions = 55;
+  params.seed = 14;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  MiningOptions options;
+  options.min_support = 0.15;
+
+  const MaximalSetResult apriori =
+      MineMaximal(db, options, Algorithm::kApriori);
+  const MaximalSetResult pure = MineMaximal(db, options, Algorithm::kPincer);
+  const MaximalSetResult adaptive =
+      MineMaximal(db, options, Algorithm::kPincerAdaptive);
+  EXPECT_EQ(apriori.mfs, pure.mfs);
+  EXPECT_EQ(pure.mfs, adaptive.mfs);
+  EXPECT_EQ(pure.mfs, BruteForceMaximal(db, options.min_support));
+}
+
+TEST(Miner, AdaptiveUsesDefaultCapWhenUnset) {
+  const TransactionDatabase db = MakeDatabase({{0, 1}, {0, 1}, {2}});
+  MiningOptions options;
+  options.min_support = 0.5;
+  // Must run without error and produce the same MFS as pure.
+  EXPECT_EQ(MineMaximal(db, options, Algorithm::kPincerAdaptive).mfs,
+            MineMaximal(db, options, Algorithm::kPincer).mfs);
+}
+
+TEST(Miner, MineFrequentReturnsFullSet) {
+  const TransactionDatabase db = MakeDatabase({{0, 1}, {0, 1}, {0}});
+  MiningOptions options;
+  options.min_support = 0.6;
+  const FrequentSetResult result = MineFrequent(db, options);
+  // {0}:3, {1}:2, {0,1}:2 with threshold 2.
+  EXPECT_EQ(result.frequent.size(), 3u);
+}
+
+}  // namespace
+}  // namespace pincer

@@ -1,0 +1,84 @@
+// Tests for the shared mining value types: FrequentItemset helpers, Timer,
+// and MiningStats rendering.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mining/frequent_itemset.h"
+#include "mining/mining_stats.h"
+#include "util/timer.h"
+
+namespace pincer {
+namespace {
+
+TEST(FrequentItemset, EqualityAndOrdering) {
+  const FrequentItemset a{Itemset{1, 2}, 5};
+  const FrequentItemset b{Itemset{1, 2}, 5};
+  const FrequentItemset c{Itemset{1, 3}, 5};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a < c);
+}
+
+TEST(FrequentItemset, StreamOutput) {
+  std::ostringstream os;
+  os << FrequentItemset{Itemset{4}, 9};
+  EXPECT_EQ(os.str(), "{4} (support 9)");
+}
+
+TEST(FrequentItemset, ItemsetsOfStripsSupports) {
+  const std::vector<FrequentItemset> list = {{Itemset{1}, 3},
+                                             {Itemset{2, 3}, 2}};
+  const std::vector<Itemset> expected = {Itemset{1}, Itemset{2, 3}};
+  EXPECT_EQ(ItemsetsOf(list), expected);
+}
+
+TEST(FrequentItemset, MaxLength) {
+  EXPECT_EQ(MaxLength({}), 0u);
+  const std::vector<FrequentItemset> list = {{Itemset{1}, 3},
+                                             {Itemset{2, 3, 4}, 2},
+                                             {Itemset{5, 6}, 2}};
+  EXPECT_EQ(MaxLength(list), 3u);
+}
+
+TEST(MiningStats, ToStringMentionsKeyFields) {
+  MiningStats stats;
+  stats.passes = 4;
+  stats.reported_candidates = 123;
+  stats.mfcs_disabled = true;
+  stats.mfcs_disabled_at_pass = 3;
+  stats.per_pass.push_back({.pass = 1,
+                            .num_candidates = 10,
+                            .num_mfcs_candidates = 1,
+                            .num_frequent = 7,
+                            .num_mfs_found = 0,
+                            .mfcs_size_after = 1});
+  const std::string rendered = stats.ToString();
+  EXPECT_NE(rendered.find("passes: 4"), std::string::npos);
+  EXPECT_NE(rendered.find("123"), std::string::npos);
+  EXPECT_NE(rendered.find("abandoned at pass 3"), std::string::npos);
+  EXPECT_NE(rendered.find("pass 1"), std::string::npos);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  // Burn a little CPU deterministically.
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + static_cast<uint64_t>(i);
+  EXPECT_GT(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds());  // ms >= s scale
+  EXPECT_GE(timer.ElapsedMicros(), 0);
+}
+
+TEST(Timer, RestartResets) {
+  Timer timer;
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + static_cast<uint64_t>(i);
+  const double before = timer.ElapsedSeconds();
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), before + 1.0);
+}
+
+}  // namespace
+}  // namespace pincer

@@ -1,0 +1,117 @@
+// Unit tests for the Quest pattern pool.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/pattern_pool.h"
+
+namespace pincer {
+namespace {
+
+PatternPoolParams SmallPoolParams() {
+  PatternPoolParams params;
+  params.num_items = 100;
+  params.num_patterns = 200;
+  params.avg_pattern_size = 5.0;
+  return params;
+}
+
+TEST(PatternPool, ProducesRequestedPatternCount) {
+  Prng prng(1);
+  const PatternPool pool(SmallPoolParams(), prng);
+  EXPECT_EQ(pool.size(), 200u);
+}
+
+TEST(PatternPool, PatternsAreSortedDistinctAndInRange) {
+  Prng prng(2);
+  const PatternPool pool(SmallPoolParams(), prng);
+  for (const Pattern& pattern : pool.patterns()) {
+    ASSERT_FALSE(pattern.items.empty());
+    for (size_t i = 1; i < pattern.items.size(); ++i) {
+      EXPECT_LT(pattern.items[i - 1], pattern.items[i]);
+    }
+    EXPECT_LT(pattern.items.back(), 100u);
+  }
+}
+
+TEST(PatternPool, WeightsAreNormalized) {
+  Prng prng(3);
+  const PatternPool pool(SmallPoolParams(), prng);
+  double sum = 0.0;
+  for (const Pattern& pattern : pool.patterns()) sum += pattern.weight;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PatternPool, CorruptionLevelsAreClamped) {
+  Prng prng(4);
+  const PatternPool pool(SmallPoolParams(), prng);
+  for (const Pattern& pattern : pool.patterns()) {
+    EXPECT_GE(pattern.corruption, 0.0);
+    EXPECT_LT(pattern.corruption, 1.0);
+  }
+}
+
+TEST(PatternPool, MeanPatternSizeTracksParameter) {
+  Prng prng(5);
+  const PatternPool pool(SmallPoolParams(), prng);
+  double total = 0.0;
+  for (const Pattern& pattern : pool.patterns()) total += pattern.items.size();
+  const double mean = total / static_cast<double>(pool.size());
+  EXPECT_NEAR(mean, 5.0, 1.0);
+}
+
+TEST(PatternPool, SampleIndexRespectsWeights) {
+  Prng prng(6);
+  const PatternPool pool(SmallPoolParams(), prng);
+  // Empirical sampling frequency should correlate with weight: the heaviest
+  // pattern must be sampled more often than the lightest.
+  size_t heaviest = 0;
+  size_t lightest = 0;
+  for (size_t i = 1; i < pool.size(); ++i) {
+    if (pool.patterns()[i].weight > pool.patterns()[heaviest].weight) {
+      heaviest = i;
+    }
+    if (pool.patterns()[i].weight < pool.patterns()[lightest].weight) {
+      lightest = i;
+    }
+  }
+  size_t heavy_hits = 0;
+  size_t light_hits = 0;
+  Prng sampler(7);
+  for (int i = 0; i < 20000; ++i) {
+    const size_t index = pool.SampleIndex(sampler);
+    ASSERT_LT(index, pool.size());
+    if (index == heaviest) ++heavy_hits;
+    if (index == lightest) ++light_hits;
+  }
+  EXPECT_GT(heavy_hits, light_hits);
+}
+
+TEST(PatternPool, ConsecutivePatternsShareItems) {
+  // The chained-overlap construction should make consecutive patterns share
+  // items noticeably more often than random pairs would.
+  Prng prng(8);
+  PatternPoolParams params = SmallPoolParams();
+  params.num_items = 1000;  // sparse universe so random overlap is rare
+  const PatternPool pool(params, prng);
+  size_t overlapping = 0;
+  for (size_t i = 1; i < pool.size(); ++i) {
+    const auto& prev = pool.patterns()[i - 1].items;
+    const auto& curr = pool.patterns()[i].items;
+    bool shares = false;
+    for (ItemId item : curr) {
+      if (std::find(prev.begin(), prev.end(), item) != prev.end()) {
+        shares = true;
+        break;
+      }
+    }
+    if (shares) ++overlapping;
+  }
+  // With correlation 0.5 roughly half of the patterns inherit items; random
+  // 5-of-1000 overlap would be ~2.5%.
+  EXPECT_GT(overlapping, pool.size() / 5);
+}
+
+}  // namespace
+}  // namespace pincer

@@ -1,0 +1,128 @@
+// Unit tests for the deterministic PRNG and its distributions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/prng.h"
+
+namespace pincer {
+namespace {
+
+TEST(Prng, DeterministicUnderSeed) {
+  Prng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(1), b(2);
+  bool any_difference = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.NextUint64() != b.NextUint64()) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Prng, UniformUint64StaysInBounds) {
+  Prng prng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(prng.UniformUint64(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(prng.UniformUint64(1), 0u);
+  }
+}
+
+TEST(Prng, UniformUint64IsRoughlyUniform) {
+  Prng prng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int histogram[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++histogram[prng.UniformUint64(kBuckets)];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, kSamples / kBuckets, kSamples / kBuckets / 5);
+  }
+}
+
+TEST(Prng, UniformIntCoversInclusiveRange) {
+  Prng prng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t value = prng.UniformInt(-3, 3);
+    EXPECT_GE(value, -3);
+    EXPECT_LE(value, 3);
+    if (value == -3) saw_lo = true;
+    if (value == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, UniformDoubleInHalfOpenUnitInterval) {
+  Prng prng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double value = prng.UniformDouble();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(Prng, ExponentialMeanConverges) {
+  Prng prng(19);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += prng.Exponential(2.0);
+  EXPECT_NEAR(sum / kSamples, 2.0, 0.05);
+}
+
+TEST(Prng, PoissonMeanConverges) {
+  Prng prng(23);
+  double sum = 0.0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) sum += prng.Poisson(4.0);
+  EXPECT_NEAR(sum / kSamples, 4.0, 0.1);
+}
+
+TEST(Prng, PoissonLargeMeanPathWorks) {
+  Prng prng(29);
+  double sum = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += prng.Poisson(50.0);
+  EXPECT_NEAR(sum / kSamples, 50.0, 1.0);
+}
+
+TEST(Prng, NormalMomentsConverge) {
+  Prng prng(31);
+  constexpr int kSamples = 100000;
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double value = prng.Normal(10.0, 3.0);
+    sum += value;
+    sum_squares += value * value;
+  }
+  const double mean = sum / kSamples;
+  const double variance = sum_squares / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(variance), 3.0, 0.1);
+}
+
+TEST(Prng, BernoulliEdgeCasesAndRate) {
+  Prng prng(37);
+  EXPECT_FALSE(prng.Bernoulli(0.0));
+  EXPECT_TRUE(prng.Bernoulli(1.0));
+  EXPECT_FALSE(prng.Bernoulli(-1.0));
+  EXPECT_TRUE(prng.Bernoulli(2.0));
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (prng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(kSamples), 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace pincer

@@ -1,0 +1,167 @@
+// Unit tests for the IBM Quest synthetic data generator.
+
+#include <gtest/gtest.h>
+
+#include "data/database_stats.h"
+#include "gen/pattern_pool.h"
+#include "gen/quest_gen.h"
+
+namespace pincer {
+namespace {
+
+QuestParams SmallParams() {
+  QuestParams params;
+  params.num_transactions = 2000;
+  params.avg_transaction_size = 10;
+  params.num_items = 200;
+  params.num_patterns = 50;
+  params.avg_pattern_size = 4;
+  params.seed = 42;
+  return params;
+}
+
+TEST(QuestGen, ProducesExactTransactionCount) {
+  const StatusOr<TransactionDatabase> db = GenerateQuestDatabase(SmallParams());
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->size(), 2000u);
+  EXPECT_EQ(db->num_items(), 200u);
+}
+
+TEST(QuestGen, IsDeterministicUnderSeed) {
+  const StatusOr<TransactionDatabase> a = GenerateQuestDatabase(SmallParams());
+  const StatusOr<TransactionDatabase> b = GenerateQuestDatabase(SmallParams());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ(a->transaction(i), b->transaction(i)) << "transaction " << i;
+  }
+}
+
+TEST(QuestGen, DifferentSeedsDiffer) {
+  QuestParams other = SmallParams();
+  other.seed = 43;
+  const StatusOr<TransactionDatabase> a = GenerateQuestDatabase(SmallParams());
+  const StatusOr<TransactionDatabase> b = GenerateQuestDatabase(other);
+  ASSERT_TRUE(a.ok() && b.ok());
+  size_t differing = 0;
+  for (size_t i = 0; i < a->size(); ++i) {
+    if (a->transaction(i) != b->transaction(i)) ++differing;
+  }
+  EXPECT_GT(differing, a->size() / 2);
+}
+
+TEST(QuestGen, AverageTransactionSizeTracksParameter) {
+  const StatusOr<TransactionDatabase> db = GenerateQuestDatabase(SmallParams());
+  ASSERT_TRUE(db.ok());
+  const DatabaseStats stats = ComputeStats(*db);
+  // Corruption and packing overflow pull the realized mean away from |T|;
+  // it should land in a broad band around it.
+  EXPECT_GT(stats.avg_transaction_size, 5.0);
+  EXPECT_LT(stats.avg_transaction_size, 15.0);
+}
+
+TEST(QuestGen, AllItemIdsWithinUniverse) {
+  const StatusOr<TransactionDatabase> db = GenerateQuestDatabase(SmallParams());
+  ASSERT_TRUE(db.ok());
+  for (const Transaction& transaction : db->transactions()) {
+    ASSERT_FALSE(transaction.empty());
+    EXPECT_LT(transaction.back(), 200u);  // sorted, so back() is the max
+  }
+}
+
+TEST(QuestGen, ConcentratedPoolYieldsLongerFrequentPatterns) {
+  // The paper's Figure 4 setup: small |L| concentrates probability mass on
+  // few patterns, producing high-support long itemsets. Compare the maximum
+  // per-item support achievable: with |L| = 5 the top pattern items recur
+  // far more often than with |L| = 500.
+  QuestParams concentrated = SmallParams();
+  concentrated.num_patterns = 5;
+  QuestParams scattered = SmallParams();
+  scattered.num_patterns = 500;
+
+  const StatusOr<TransactionDatabase> c = GenerateQuestDatabase(concentrated);
+  const StatusOr<TransactionDatabase> s = GenerateQuestDatabase(scattered);
+  ASSERT_TRUE(c.ok() && s.ok());
+  auto max_support = [](const TransactionDatabase& db) {
+    uint64_t best = 0;
+    for (uint64_t support : ComputeStats(db).item_supports) {
+      best = std::max(best, support);
+    }
+    return best;
+  };
+  EXPECT_GT(max_support(*c), max_support(*s));
+}
+
+TEST(QuestGen, ValidatesParameters) {
+  QuestParams params = SmallParams();
+  params.num_items = 0;
+  EXPECT_FALSE(GenerateQuestDatabase(params).ok());
+
+  params = SmallParams();
+  params.avg_pattern_size = 0;
+  EXPECT_FALSE(GenerateQuestDatabase(params).ok());
+
+  params = SmallParams();
+  params.avg_pattern_size = 1000;  // exceeds num_items = 200
+  EXPECT_FALSE(GenerateQuestDatabase(params).ok());
+
+  params = SmallParams();
+  params.corruption_mean = 1.5;
+  EXPECT_FALSE(GenerateQuestDatabase(params).ok());
+
+  params = SmallParams();
+  params.num_transactions = 0;
+  EXPECT_FALSE(GenerateQuestDatabase(params).ok());
+}
+
+TEST(QuestGen, UncorruptedPatternsAreMinableAsFrequentItemsets) {
+  // With corruption ~0, patterns are inserted whole, so the heavy patterns
+  // must surface as frequent itemsets. The pattern pool is reconstructed by
+  // replaying the generator's deterministic PRNG sequence.
+  QuestParams params = SmallParams();
+  params.num_patterns = 5;
+  params.corruption_mean = 0.0;
+  params.corruption_stddev = 0.0;
+  params.avg_transaction_size = 12;
+
+  Prng replica(params.seed);
+  PatternPoolParams pool_params;
+  pool_params.num_items = params.num_items;
+  pool_params.num_patterns = params.num_patterns;
+  pool_params.avg_pattern_size = params.avg_pattern_size;
+  pool_params.correlation = params.correlation;
+  pool_params.corruption_mean = params.corruption_mean;
+  pool_params.corruption_stddev = params.corruption_stddev;
+  const PatternPool pool(pool_params, replica);
+
+  const StatusOr<TransactionDatabase> db = GenerateQuestDatabase(params);
+  ASSERT_TRUE(db.ok());
+
+  // The heaviest pattern is sampled for roughly its weight share of
+  // transactions; at |L| = 5 that is a large fraction. Its full itemset
+  // must therefore be frequent at a modest threshold.
+  size_t heaviest = 0;
+  for (size_t i = 1; i < pool.size(); ++i) {
+    if (pool.patterns()[i].weight > pool.patterns()[heaviest].weight) {
+      heaviest = i;
+    }
+  }
+  const Itemset pattern(
+      std::vector<ItemId>(pool.patterns()[heaviest].items));
+  const double support = db->Support(pattern);
+  EXPECT_GT(support, 0.05) << "pattern " << pattern << " (weight "
+                           << pool.patterns()[heaviest].weight << ")";
+}
+
+TEST(QuestGen, NameEncodesPaperNotation) {
+  QuestParams params;
+  params.avg_transaction_size = 10;
+  params.avg_pattern_size = 4;
+  params.num_transactions = 100000;
+  params.num_patterns = 2000;
+  params.num_items = 1000;
+  EXPECT_EQ(params.Name(), "T10.I4.D100K (|L|=2000, N=1000)");
+}
+
+}  // namespace
+}  // namespace pincer

@@ -1,0 +1,133 @@
+// Unit tests for association-rule generation.
+
+#include <gtest/gtest.h>
+
+#include "apriori/apriori.h"
+#include "rules/rule_gen.h"
+#include "testing/db_builder.h"
+
+namespace pincer {
+namespace {
+
+// Builds the frequent set of a fixed database: 10 transactions,
+// {0,1} in 8, {0,1,2} in 6, {3} in 5.
+TransactionDatabase RuleDb() {
+  TransactionDatabase db(4);
+  for (int i = 0; i < 6; ++i) db.AddTransaction({0, 1, 2});
+  for (int i = 0; i < 2; ++i) db.AddTransaction({0, 1});
+  for (int i = 0; i < 2; ++i) db.AddTransaction({3});
+  for (int i = 0; i < 3; ++i) db.AddTransaction({3});
+  return db;  // |D| = 13
+}
+
+std::vector<FrequentItemset> FrequentOf(const TransactionDatabase& db,
+                                        double min_support) {
+  MiningOptions options;
+  options.min_support = min_support;
+  return AprioriMine(db, options).frequent;
+}
+
+TEST(GenerateRules, FindsConfidentRules) {
+  const TransactionDatabase db = RuleDb();
+  RuleOptions options;
+  options.min_confidence = 0.7;
+  const std::vector<AssociationRule> rules =
+      GenerateRules(FrequentOf(db, 0.3), db.size(), options);
+
+  // {0} -> {1}: support(0,1)=8, support(0)=8 -> confidence 1.0: present.
+  bool found = false;
+  for (const AssociationRule& rule : rules) {
+    if (rule.antecedent == Itemset{0} && rule.consequent == Itemset{1}) {
+      found = true;
+      EXPECT_DOUBLE_EQ(rule.confidence, 1.0);
+      EXPECT_EQ(rule.support_count, 8u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GenerateRules, RespectsConfidenceThreshold) {
+  const TransactionDatabase db = RuleDb();
+  RuleOptions options;
+  options.min_confidence = 0.9;
+  for (const AssociationRule& rule :
+       GenerateRules(FrequentOf(db, 0.3), db.size(), options)) {
+    EXPECT_GE(rule.confidence, 0.9 - 1e-9) << rule;
+  }
+}
+
+TEST(GenerateRules, AntecedentAndConsequentPartitionTheItemset) {
+  const TransactionDatabase db = RuleDb();
+  RuleOptions options;
+  options.min_confidence = 0.1;
+  for (const AssociationRule& rule :
+       GenerateRules(FrequentOf(db, 0.3), db.size(), options)) {
+    EXPECT_FALSE(rule.antecedent.empty());
+    EXPECT_FALSE(rule.consequent.empty());
+    EXPECT_TRUE(rule.antecedent.Intersect(rule.consequent).empty());
+  }
+}
+
+TEST(GenerateRules, ExhaustiveAgainstDirectEnumeration) {
+  // Compare ap-genrules against the naive "every non-empty proper subset as
+  // antecedent" enumeration.
+  const TransactionDatabase db = RuleDb();
+  const std::vector<FrequentItemset> frequent = FrequentOf(db, 0.3);
+  RuleOptions options;
+  options.min_confidence = 0.6;
+  const std::vector<AssociationRule> fast =
+      GenerateRules(frequent, db.size(), options);
+
+  std::vector<AssociationRule> naive;
+  for (const FrequentItemset& fi : frequent) {
+    if (fi.itemset.size() < 2) continue;
+    for (size_t k = 1; k < fi.itemset.size(); ++k) {
+      for (const Itemset& antecedent : fi.itemset.SubsetsOfSize(k)) {
+        const double confidence =
+            static_cast<double>(fi.support) /
+            static_cast<double>(db.CountSupport(antecedent));
+        if (confidence + 1e-12 >= options.min_confidence) {
+          AssociationRule rule;
+          rule.antecedent = antecedent;
+          rule.consequent = fi.itemset.Difference(antecedent);
+          naive.push_back(rule);
+        }
+      }
+    }
+  }
+  std::sort(naive.begin(), naive.end());
+
+  ASSERT_EQ(fast.size(), naive.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].antecedent, naive[i].antecedent);
+    EXPECT_EQ(fast[i].consequent, naive[i].consequent);
+  }
+}
+
+TEST(GenerateRules, MaxItemsetSizeGuard) {
+  const TransactionDatabase db = RuleDb();
+  RuleOptions options;
+  options.min_confidence = 0.1;
+  options.max_itemset_size = 2;
+  for (const AssociationRule& rule :
+       GenerateRules(FrequentOf(db, 0.3), db.size(), options)) {
+    EXPECT_LE(rule.antecedent.size() + rule.consequent.size(), 2u);
+  }
+}
+
+TEST(GenerateRules, EmptyFrequentSetYieldsNoRules) {
+  RuleOptions options;
+  EXPECT_TRUE(GenerateRules({}, 10, options).empty());
+}
+
+TEST(AssociationRule, ToStringFormatsRule) {
+  AssociationRule rule;
+  rule.antecedent = Itemset{1, 2};
+  rule.consequent = Itemset{3};
+  rule.support = 0.5;
+  rule.confidence = 0.75;
+  EXPECT_EQ(rule.ToString(), "{1, 2} => {3} (sup 0.5000, conf 0.7500)");
+}
+
+}  // namespace
+}  // namespace pincer

@@ -1,0 +1,91 @@
+// Unit tests for Status and StatusOr.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace pincer {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(Status, FactoryFunctionsSetCodeAndMessage) {
+  const Status status = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad input");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kIoError, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal}) {
+    EXPECT_FALSE(StatusCodeToString(code).empty());
+    EXPECT_NE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IoError("x"));
+}
+
+TEST(Status, StreamsToString) {
+  std::ostringstream os;
+  os << Status::Internal("boom");
+  EXPECT_EQ(os.str(), "Internal: boom");
+}
+
+TEST(Status, ReturnIfErrorMacroPropagates) {
+  auto fails = [] { return Status::IoError("disk"); };
+  auto wrapper = [&]() -> Status {
+    PINCER_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kIoError);
+
+  auto succeeds = [] { return Status::OK(); };
+  auto wrapper2 = [&]() -> Status {
+    PINCER_RETURN_IF_ERROR(succeeds());
+    return Status::Internal("reached");
+  };
+  EXPECT_EQ(wrapper2().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  const StatusOr<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> result(std::string("hello"));
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "hello");
+}
+
+TEST(StatusOr, ArrowOperator) {
+  StatusOr<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+}  // namespace
+}  // namespace pincer

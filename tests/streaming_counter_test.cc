@@ -1,0 +1,103 @@
+// Tests for the disk-streaming counter: agreement with in-memory backends,
+// pass accounting, and I/O error handling.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "counting/streaming_counter.h"
+#include "data/database_io.h"
+#include "testing/db_builder.h"
+
+namespace pincer {
+namespace {
+
+class StreamingCounterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/pincer_streaming_test.basket";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteDb(const TransactionDatabase& db) {
+    ASSERT_TRUE(WriteDatabaseToFile(db, path_).ok());
+  }
+
+  std::string path_;
+};
+
+TEST_F(StreamingCounterTest, MatchesInMemoryCounts) {
+  RandomDbParams params;
+  params.num_items = 10;
+  params.num_transactions = 50;
+  params.seed = 42;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  WriteDb(db);
+
+  StreamingCounter counter(path_);
+  const std::vector<Itemset> candidates = {
+      Itemset{0}, Itemset{1, 2}, Itemset{3, 4, 5}, Itemset{0, 9}, Itemset{}};
+  const StatusOr<std::vector<uint64_t>> counts =
+      counter.CountSupports(candidates);
+  ASSERT_TRUE(counts.ok()) << counts.status();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].empty()) continue;
+    EXPECT_EQ((*counts)[i], db.CountSupport(candidates[i]))
+        << candidates[i];
+  }
+}
+
+TEST_F(StreamingCounterTest, CountsPassesAndTransactions) {
+  const TransactionDatabase db = MakeDatabase({{0, 1}, {1, 2}, {0}});
+  WriteDb(db);
+  StreamingCounter counter(path_);
+  EXPECT_EQ(counter.passes(), 0u);
+  ASSERT_TRUE(counter.CountSupports({Itemset{0}}).ok());
+  EXPECT_EQ(counter.passes(), 1u);
+  EXPECT_EQ(counter.last_pass_transactions(), 3u);
+  ASSERT_TRUE(counter.CountSupports({Itemset{1}}).ok());
+  EXPECT_EQ(counter.passes(), 2u);
+}
+
+TEST_F(StreamingCounterTest, EmptyItemsetSupportedByAllRows) {
+  const TransactionDatabase db = MakeDatabase({{0}, {1}, {2}, {0, 1}});
+  WriteDb(db);
+  StreamingCounter counter(path_);
+  const StatusOr<std::vector<uint64_t>> counts =
+      counter.CountSupports({Itemset{}});
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ((*counts)[0], 4u);
+}
+
+TEST_F(StreamingCounterTest, MissingFileIsIoError) {
+  StreamingCounter counter("/nonexistent/file.basket");
+  const StatusOr<std::vector<uint64_t>> counts =
+      counter.CountSupports({Itemset{0}});
+  ASSERT_FALSE(counts.ok());
+  EXPECT_EQ(counts.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(StreamingCounterTest, MalformedRowIsInvalidArgument) {
+  std::ofstream out(path_);
+  out << "1 2 banana\n";
+  out.close();
+  StreamingCounter counter(path_);
+  const StatusOr<std::vector<uint64_t>> counts =
+      counter.CountSupports({Itemset{1}});
+  ASSERT_FALSE(counts.ok());
+  EXPECT_EQ(counts.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StreamingCounterTest, FileMayAppearAfterConstruction) {
+  StreamingCounter counter(path_);
+  EXPECT_FALSE(counter.CountSupports({Itemset{0}}).ok());
+  WriteDb(MakeDatabase({{0}}));
+  const StatusOr<std::vector<uint64_t>> counts =
+      counter.CountSupports({Itemset{0}});
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ((*counts)[0], 1u);
+}
+
+}  // namespace
+}  // namespace pincer

@@ -1,0 +1,50 @@
+// Unit tests for the table printer used by the benchmark harnesses.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table_printer.h"
+
+namespace pincer {
+namespace {
+
+TEST(TablePrinter, RendersAlignedColumns) {
+  TablePrinter table({"minsup", "time"});
+  table.AddRow({"1%", "12.5"});
+  table.AddRow({"0.5%", "300.25"});
+  std::ostringstream os;
+  table.Print(os);
+  const std::string rendered = os.str();
+  EXPECT_NE(rendered.find("| minsup | time   |"), std::string::npos);
+  EXPECT_NE(rendered.find("| 0.5%   | 300.25 |"), std::string::npos);
+  EXPECT_NE(rendered.find("|--------|"), std::string::npos);
+}
+
+TEST(TablePrinter, CountsRows) {
+  TablePrinter table({"a"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  table.AddRow({"x"});
+  EXPECT_EQ(table.num_rows(), 1u);
+}
+
+TEST(TablePrinter, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::FormatDouble(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::FormatInt(123456), "123456");
+  EXPECT_EQ(TablePrinter::FormatInt(-5), "-5");
+  EXPECT_EQ(TablePrinter::FormatRatio(6.0, 2.0), "3.00x");
+  EXPECT_EQ(TablePrinter::FormatRatio(1.0, 0.0), "inf");
+  EXPECT_EQ(TablePrinter::FormatPercent(0.0125), "1.25%");
+  EXPECT_EQ(TablePrinter::FormatPercent(0.5, 0), "50%");
+}
+
+TEST(TablePrinter, EmptyTableStillPrintsHeader) {
+  TablePrinter table({"only"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("| only |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pincer

@@ -1,0 +1,79 @@
+// Tests for the cooperative time budget used by the benchmark harnesses.
+
+#include <gtest/gtest.h>
+
+#include "apriori/apriori.h"
+#include "core/pincer_search.h"
+#include "testing/db_builder.h"
+
+namespace pincer {
+namespace {
+
+TransactionDatabase DeepDb() {
+  // A 10-item pattern forces many passes, giving the between-pass budget
+  // check something to interrupt.
+  TransactionDatabase db(12);
+  for (int i = 0; i < 30; ++i) {
+    db.AddTransaction({0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  }
+  return db;
+}
+
+TEST(TimeBudget, AprioriAbortsWhenExceeded) {
+  MiningOptions options;
+  options.min_support = 0.5;
+  options.time_budget_ms = 1e-6;  // exceeded immediately after pass 2
+  const FrequentSetResult result = AprioriMine(DeepDb(), options);
+  EXPECT_TRUE(result.stats.aborted);
+  EXPECT_LT(result.stats.passes, 10u);
+}
+
+TEST(TimeBudget, PincerAbortsWhenExceeded) {
+  // A random database keeps the bottom-up candidate stream alive past pass
+  // 2 (on DeepDb the MFCS finishes everything in two passes, and a
+  // completed run must not be marked aborted — see below).
+  RandomDbParams params;
+  params.num_items = 12;
+  params.num_transactions = 60;
+  params.item_probability = 0.5;
+  params.seed = 5;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  MiningOptions options;
+  options.min_support = 0.1;
+  options.time_budget_ms = 1e-6;
+  const MaximalSetResult result = PincerSearch(db, options);
+  EXPECT_TRUE(result.stats.aborted);
+}
+
+TEST(TimeBudget, CompletedRunIsNeverMarkedAborted) {
+  // The MFCS classifies everything by pass 2 here; even with an
+  // already-exceeded budget the run is complete, not aborted.
+  MiningOptions options;
+  options.min_support = 0.5;
+  options.time_budget_ms = 1e-6;
+  const MaximalSetResult result = PincerSearch(DeepDb(), options);
+  EXPECT_FALSE(result.stats.aborted);
+  ASSERT_EQ(result.mfs.size(), 1u);
+  EXPECT_EQ(result.mfs[0].itemset,
+            (Itemset{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(TimeBudget, ZeroMeansUnlimited) {
+  MiningOptions options;
+  options.min_support = 0.5;
+  options.time_budget_ms = 0;
+  const FrequentSetResult result = AprioriMine(DeepDb(), options);
+  EXPECT_FALSE(result.stats.aborted);
+  EXPECT_EQ(result.stats.passes, 10u);
+}
+
+TEST(TimeBudget, GenerousBudgetDoesNotAbort) {
+  MiningOptions options;
+  options.min_support = 0.5;
+  options.time_budget_ms = 60000;
+  EXPECT_FALSE(AprioriMine(DeepDb(), options).stats.aborted);
+  EXPECT_FALSE(PincerSearch(DeepDb(), options).stats.aborted);
+}
+
+}  // namespace
+}  // namespace pincer

@@ -8,6 +8,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "core/pincer_search.h"
@@ -19,6 +20,28 @@
 namespace {
 
 using namespace pincer;
+
+// Database label + size for the --json rows; set once in main().
+std::string ablation_db_label;
+size_t ablation_db_size = 0;
+
+void RecordAblationRow(const std::string& experiment,
+                       const std::string& algorithm,
+                       const std::string& backend, double min_support,
+                       const std::string& variant,
+                       const MaximalSetResult& result) {
+  bench::JsonRow row;
+  row.experiment = experiment;
+  row.database = ablation_db_label;
+  row.num_transactions = ablation_db_size;
+  row.algorithm = algorithm;
+  row.backend = backend;
+  row.min_support = min_support;
+  row.variant = variant;
+  row.mfs_size = static_cast<int64_t>(result.mfs.size());
+  row.mfs_max_len = static_cast<int64_t>(MaxLength(result.mfs));
+  bench::RecordJsonRow(row, result.stats);
+}
 
 TransactionDatabase MakeConcentratedDb(size_t scale) {
   QuestParams params;
@@ -57,7 +80,13 @@ void PureVsAdaptive(const TransactionDatabase& db, double min_support) {
     options.min_support = min_support;
     options.mfcs_cardinality_limit = cap;
     options.time_budget_ms = kAblationBudgetMs;
+    options.collect_counter_metrics = bench::JsonOutputEnabled();
     const MaximalSetResult result = PincerSearch(db, options);
+    RecordAblationRow("Ablation 1: pure vs adaptive",
+                      cap == 0 ? "pincer" : "pincer-adaptive",
+                      std::string(CounterBackendName(options.backend)),
+                      min_support, cap == 0 ? "pure" : "adaptive(cap=10000)",
+                      result);
     table.AddRow({cap == 0 ? "pure" : "adaptive(cap=10000)",
                   MaybeLowerBound(result.stats.elapsed_millis,
                                   result.stats.aborted),
@@ -83,7 +112,15 @@ void CapSensitivity(const TransactionDatabase& db, double min_support) {
     options.min_support = min_support;
     options.mfcs_cardinality_limit = cap;
     options.time_budget_ms = kAblationBudgetMs;
+    options.collect_counter_metrics = bench::JsonOutputEnabled();
     const MaximalSetResult result = PincerSearch(db, options);
+    const std::string cap_label =
+        cap == 0 ? "unlimited"
+                 : "cap=" + std::to_string(static_cast<unsigned long long>(cap));
+    RecordAblationRow("Ablation 2: MFCS cardinality cap sweep",
+                      cap == 0 ? "pincer" : "pincer-adaptive",
+                      std::string(CounterBackendName(options.backend)),
+                      min_support, cap_label, result);
     table.AddRow({cap == 0 ? "unlimited" : TablePrinter::FormatInt(
                                                static_cast<int64_t>(cap)),
                   MaybeLowerBound(result.stats.elapsed_millis,
@@ -109,10 +146,19 @@ void BackendComparison(const TransactionDatabase& db, double min_support) {
     options.min_support = min_support;
     options.backend = backend;
     options.time_budget_ms = kAblationBudgetMs;
+    options.collect_counter_metrics = bench::JsonOutputEnabled();
     const MaximalSetResult apriori =
         MineMaximal(db, options, Algorithm::kApriori);
     const MaximalSetResult pincer =
         MineMaximal(db, options, Algorithm::kPincerAdaptive);
+    RecordAblationRow("Ablation 3: counting backends",
+                      std::string(AlgorithmName(Algorithm::kApriori)),
+                      std::string(CounterBackendName(backend)), min_support,
+                      "", apriori);
+    RecordAblationRow("Ablation 3: counting backends",
+                      std::string(AlgorithmName(Algorithm::kPincerAdaptive)),
+                      std::string(CounterBackendName(backend)), min_support,
+                      "", pincer);
     if (!apriori.stats.aborted && !pincer.stats.aborted &&
         !(apriori.mfs == pincer.mfs)) {
       std::cerr << "FATAL: MFS mismatch on backend "
@@ -133,6 +179,8 @@ void BackendComparison(const TransactionDatabase& db, double min_support) {
 int main(int argc, char** argv) {
   const bench::BenchConfig config = bench::ParseBenchArgs(argc, argv);
   const TransactionDatabase db = MakeConcentratedDb(config.scale);
+  ablation_db_label = "T20.I10.D" + std::to_string(db.size());
+  ablation_db_size = db.size();
   std::cout << "Ablation database: T20.I10, |L|=50, |D|=" << db.size()
             << "\n";
   PureVsAdaptive(db, 0.08);

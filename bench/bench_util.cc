@@ -3,15 +3,88 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "counting/counter_factory.h"
 #include "data/database_stats.h"
 #include "mining/miner.h"
+#include "util/json_writer.h"
+#include "util/metrics.h"
 #include "util/table_printer.h"
 
 namespace pincer {
 namespace bench {
+
+namespace {
+
+// --json state shared by all experiments of one harness process. The file
+// is rewritten as a complete JSON array after every record, so a run that
+// is aborted at any point — even killed mid-pass, when atexit never fires —
+// still leaves a parseable file with everything measured so far. Records
+// are a few hundred bytes and mining runs are seconds-to-minutes, so the
+// rewrite cost is irrelevant.
+std::string& JsonPath() {
+  static std::string* path = new std::string();
+  return *path;
+}
+
+std::vector<std::string>& JsonRecords() {
+  static std::vector<std::string>* records = new std::vector<std::string>();
+  return *records;
+}
+
+void FlushJsonRecords() {
+  const std::string& path = JsonPath();
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write JSON output to %s\n", path.c_str());
+    return;
+  }
+  out << "[";
+  const std::vector<std::string>& records = JsonRecords();
+  for (size_t i = 0; i < records.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\n" << records[i];
+  }
+  if (!records.empty()) out << "\n";
+  out << "]\n";
+}
+
+void ReportJsonRecords() {
+  if (JsonPath().empty()) return;
+  std::fprintf(stderr, "wrote %zu JSON record(s) to %s\n",
+               JsonRecords().size(), JsonPath().c_str());
+}
+
+}  // namespace
+
+bool JsonOutputEnabled() { return !JsonPath().empty(); }
+
+void RecordJsonRow(const JsonRow& row, const MiningStats& stats) {
+  if (!JsonOutputEnabled()) return;
+  std::ostringstream os;
+  JsonWriter json(os);
+  json.BeginObject();
+  json.KeyValue("schema_version", kStatsJsonSchemaVersion);
+  json.KeyValue("experiment", row.experiment);
+  json.KeyValue("database", row.database);
+  json.KeyValue("num_transactions",
+                static_cast<uint64_t>(row.num_transactions));
+  json.KeyValue("algorithm", row.algorithm);
+  json.KeyValue("backend", row.backend);
+  json.KeyValue("min_support", row.min_support);
+  if (!row.variant.empty()) json.KeyValue("variant", row.variant);
+  if (row.mfs_size >= 0) json.KeyValue("mfs_size", row.mfs_size);
+  if (row.mfs_max_len >= 0) json.KeyValue("mfs_max_len", row.mfs_max_len);
+  json.Key("stats");
+  stats.ToJson(json);
+  json.EndObject();
+  JsonRecords().push_back(os.str());
+  FlushJsonRecords();
+}
 
 BenchConfig ParseBenchArgs(int argc, char** argv) {
   BenchConfig config;
@@ -41,13 +114,28 @@ BenchConfig ParseBenchArgs(int argc, char** argv) {
       config.scale_explicit = true;
     } else if (arg.rfind("--budget=", 0) == 0) {
       config.time_budget_ms = std::strtod(arg.c_str() + 9, nullptr);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      config.json_path = arg.substr(7);
+      if (config.json_path.empty()) {
+        std::fprintf(stderr, "--json needs a file path\n");
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale=N] [--full] [--backend=trie|hash_tree|"
-                   "linear|vertical] [--skip-apriori] [--budget=MS]\n",
+                   "linear|vertical] [--skip-apriori] [--budget=MS] "
+                   "[--json=FILE]\n",
                    argv[0]);
       std::exit(2);
     }
+  }
+  if (!config.json_path.empty() && JsonPath() != config.json_path) {
+    const bool first = JsonPath().empty();
+    JsonPath() = config.json_path;
+    // Write the (empty) array up front so even a zero-record run leaves a
+    // valid file, and report the record count on normal exit.
+    FlushJsonRecords();
+    if (first) std::atexit(ReportJsonRecords);
   }
   return config;
 }
@@ -76,15 +164,30 @@ void RunExperiment(const ExperimentSpec& spec, const BenchConfig& config) {
                       "apriori_cands", "pincer_cands", "cand_ratio",
                       "apriori_passes", "pincer_passes", "|MFS|", "max_len"});
 
+  JsonRow base_row;
+  base_row.experiment = spec.title;
+  base_row.database = quest.Name();
+  base_row.num_transactions = stats.num_transactions;
+  base_row.backend = std::string(CounterBackendName(config.backend));
+
   for (double min_support : spec.min_supports) {
     MiningOptions options;
     options.min_support = min_support;
     options.backend = config.backend;
+    options.collect_counter_metrics = JsonOutputEnabled();
 
     MiningOptions pincer_options = options;
     pincer_options.time_budget_ms = config.time_budget_ms;
     const MaximalSetResult pincer =
         MineMaximal(*db, pincer_options, Algorithm::kPincerAdaptive);
+    {
+      JsonRow row = base_row;
+      row.algorithm = std::string(AlgorithmName(Algorithm::kPincerAdaptive));
+      row.min_support = min_support;
+      row.mfs_size = static_cast<int64_t>(pincer.mfs.size());
+      row.mfs_max_len = static_cast<int64_t>(MaxLength(pincer.mfs));
+      RecordJsonRow(row, pincer.stats);
+    }
 
     std::string apriori_ms = "-";
     std::string apriori_cands = "-";
@@ -96,6 +199,16 @@ void RunExperiment(const ExperimentSpec& spec, const BenchConfig& config) {
       apriori_options.time_budget_ms = config.time_budget_ms;
       const MaximalSetResult apriori =
           MineMaximal(*db, apriori_options, Algorithm::kApriori);
+      {
+        JsonRow row = base_row;
+        row.algorithm = std::string(AlgorithmName(Algorithm::kApriori));
+        row.min_support = min_support;
+        if (!apriori.stats.aborted) {
+          row.mfs_size = static_cast<int64_t>(apriori.mfs.size());
+          row.mfs_max_len = static_cast<int64_t>(MaxLength(apriori.mfs));
+        }
+        RecordJsonRow(row, apriori.stats);
+      }
       if (apriori.stats.aborted) {
         // The paper's explosion regime: report what is known as lower
         // bounds instead of waiting hours for the baseline.

@@ -6,10 +6,12 @@
 #ifndef PINCER_BENCH_BENCH_UTIL_H_
 #define PINCER_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "gen/quest_gen.h"
+#include "mining/mining_stats.h"
 #include "mining/options.h"
 
 namespace pincer {
@@ -34,11 +36,40 @@ struct BenchConfig {
   /// that Apriori explodes (T20.I15 at 6-7%). Soft budget: checked between
   /// passes; default 30 s. Override with --budget=MS.
   double time_budget_ms = 30000;
+  /// When non-empty (--json=FILE), every (algorithm, setting) row is also
+  /// emitted as a schema-versioned JSON record; the file holds one JSON
+  /// array and is rewritten after each record, so an interrupted run still
+  /// leaves a parseable file. Enables
+  /// MiningOptions::collect_counter_metrics for the measured runs.
+  std::string json_path;
 };
 
-/// Parses --scale=N, --backend=NAME, --skip-apriori flags. Unknown flags
-/// abort with a usage message.
+/// Parses --scale=N, --backend=NAME, --skip-apriori, --budget=MS,
+/// --json=FILE flags. Unknown flags abort with a usage message.
 BenchConfig ParseBenchArgs(int argc, char** argv);
+
+/// True once ParseBenchArgs has seen --json=FILE in this process.
+bool JsonOutputEnabled();
+
+/// Identity of one (algorithm, setting) result row for --json output.
+/// Optional fields use sentinels (-1 / empty string) and are then omitted
+/// from the record.
+struct JsonRow {
+  std::string experiment;      // section title, e.g. "Figure 3, row 1 (...)"
+  std::string database;        // e.g. "T20.I10.D10000"
+  size_t num_transactions = 0;
+  std::string algorithm;       // AlgorithmName(...) or harness-specific
+  std::string backend;         // CounterBackendName(...)
+  double min_support = 0.0;
+  std::string variant;         // ablation label ("" = omitted)
+  int64_t mfs_size = -1;       // -1 = omitted
+  int64_t mfs_max_len = -1;    // -1 = omitted
+};
+
+/// Queues one record (row identity + full MiningStats::ToJson payload) for
+/// the --json file; see EXPERIMENTS.md for the schema. No-op when JSON
+/// output is disabled, so harnesses may call it unconditionally.
+void RecordJsonRow(const JsonRow& row, const MiningStats& stats);
 
 /// One database + support sweep.
 struct ExperimentSpec {

@@ -7,11 +7,15 @@
 //     --backend=trie             trie | hash_tree | linear | vertical
 //     --rules=<min_confidence>   also generate association rules
 //     --stats                    print per-pass statistics
+//     --stats-json=FILE          write run statistics as JSON (schema in
+//                                EXPERIMENTS.md; also enables backend
+//                                counter metrics)
 //
 // Exit status: 0 on success, 1 on bad input, 2 on bad usage.
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -20,6 +24,8 @@
 #include "data/database_stats.h"
 #include "mining/miner.h"
 #include "rules/mfs_rule_gen.h"
+#include "util/json_writer.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -28,7 +34,7 @@ int Usage(const char* argv0) {
             << " <database.basket> [--min-support=F] "
                "[--algorithm=apriori|pincer|pincer-adaptive] "
                "[--backend=trie|hash_tree|linear|vertical] "
-               "[--rules=MIN_CONFIDENCE] [--stats]\n";
+               "[--rules=MIN_CONFIDENCE] [--stats] [--stats-json=FILE]\n";
   return 2;
 }
 
@@ -44,6 +50,7 @@ int main(int argc, char** argv) {
   Algorithm algorithm = Algorithm::kPincerAdaptive;
   double min_confidence = -1.0;
   bool print_stats = false;
+  std::string stats_json_path;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -77,10 +84,17 @@ int main(int argc, char** argv) {
       min_confidence = std::strtod(arg.c_str() + 8, nullptr);
     } else if (arg == "--stats") {
       print_stats = true;
+    } else if (arg.rfind("--stats-json=", 0) == 0) {
+      stats_json_path = arg.substr(13);
+      if (stats_json_path.empty()) {
+        std::cerr << "--stats-json needs a file path\n";
+        return 2;
+      }
     } else {
       return Usage(argv[0]);
     }
   }
+  options.collect_counter_metrics = !stats_json_path.empty();
 
   const StatusOr<TransactionDatabase> db = ReadDatabaseFromFile(path);
   if (!db.ok()) {
@@ -102,6 +116,34 @@ int main(int argc, char** argv) {
   }
 
   if (print_stats) std::cerr << result.stats.ToString();
+
+  if (!stats_json_path.empty()) {
+    std::ofstream out(stats_json_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << stats_json_path << "\n";
+      return 1;
+    }
+    JsonWriter json(out);
+    json.BeginObject();
+    json.KeyValue("schema_version", kStatsJsonSchemaVersion);
+    json.KeyValue("tool", "mine_cli");
+    json.KeyValue("input", path);
+    json.KeyValue("algorithm", AlgorithmName(algorithm));
+    json.KeyValue("backend", CounterBackendName(options.backend));
+    json.KeyValue("min_support", options.min_support);
+    json.KeyValue("num_transactions", static_cast<uint64_t>(db->size()));
+    json.KeyValue("num_items", static_cast<uint64_t>(db->num_items()));
+    json.KeyValue("mfs_size", static_cast<uint64_t>(result.mfs.size()));
+    json.KeyValue("mfs_max_len", static_cast<uint64_t>(MaxLength(result.mfs)));
+    json.Key("stats");
+    result.stats.ToJson(json);
+    json.EndObject();
+    out << "\n";
+    if (!out.good()) {
+      std::cerr << "error: failed writing " << stats_json_path << "\n";
+      return 1;
+    }
+  }
 
   if (min_confidence >= 0.0) {
     RuleOptions rule_options;

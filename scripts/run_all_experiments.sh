@@ -2,30 +2,61 @@
 # Regenerates every experiment artifact recorded in EXPERIMENTS.md.
 #
 #   scripts/run_all_experiments.sh [build_dir] [scale]
+#   scripts/run_all_experiments.sh [build_dir] --scale=N
 #
 # scale divides the paper's |D| = 100K (default 10; use 1 for full scale —
 # expect hours at full scale because Apriori genuinely explodes on the
 # Figure-4 settings, which is the paper's point).
+#
+# Besides the human-readable bench_*.txt tables, every harness also emits
+# machine-readable records into bench_results/*.json (schema documented in
+# EXPERIMENTS.md). The micro benchmarks use google-benchmark's native JSON
+# reporter. Each JSON file is validated with `python3 -m json.tool` when
+# python3 is on PATH.
 
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-SCALE="${2:-10}"
-BUDGET_MS=60000
+SCALE_ARG="${2:-10}"
+SCALE="${SCALE_ARG#--scale=}"
+BUDGET_MS="${BUDGET_MS:-60000}"   # override via env for quick smoke runs
+RESULTS_DIR="bench_results"
+
+mkdir -p "$RESULTS_DIR"
 
 run() {
   echo "== $* =="
   "$@"
 }
 
+validate_json() {
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$1" >/dev/null
+    echo "validated $1"
+  fi
+}
+
 run "$BUILD_DIR/bench/fig3_scattered" --scale="$SCALE" --budget="$BUDGET_MS" \
-  | tee bench_fig3.txt
+  --json="$RESULTS_DIR/fig3.json" | tee bench_fig3.txt
+validate_json "$RESULTS_DIR/fig3.json"
 run "$BUILD_DIR/bench/fig4_concentrated" --scale="$SCALE" --budget="$BUDGET_MS" \
-  | tee bench_fig4.txt
+  --json="$RESULTS_DIR/fig4.json" | tee bench_fig4.txt
+validate_json "$RESULTS_DIR/fig4.json"
 run "$BUILD_DIR/bench/fig4_concentrated" --scale=100 --budget="$BUDGET_MS" \
-  | tee bench_fig4_scale100.txt
-run "$BUILD_DIR/bench/ablation_mfcs" --scale="$SCALE" | tee bench_ablation.txt
-run "$BUILD_DIR/bench/related_work" --scale="$SCALE" | tee bench_related.txt
-run "$BUILD_DIR/bench/micro_counting" | tee bench_micro_counting.txt
-run "$BUILD_DIR/bench/micro_itemset" | tee bench_micro_itemset.txt
-echo "All experiment outputs written."
+  --json="$RESULTS_DIR/fig4_scale100.json" | tee bench_fig4_scale100.txt
+validate_json "$RESULTS_DIR/fig4_scale100.json"
+run "$BUILD_DIR/bench/ablation_mfcs" --scale="$SCALE" \
+  --json="$RESULTS_DIR/ablation.json" | tee bench_ablation.txt
+validate_json "$RESULTS_DIR/ablation.json"
+run "$BUILD_DIR/bench/related_work" --scale="$SCALE" --budget="$BUDGET_MS" \
+  --json="$RESULTS_DIR/related_work.json" | tee bench_related.txt
+validate_json "$RESULTS_DIR/related_work.json"
+run "$BUILD_DIR/bench/micro_counting" \
+  --benchmark_out="$RESULTS_DIR/micro_counting.json" \
+  --benchmark_out_format=json | tee bench_micro_counting.txt
+validate_json "$RESULTS_DIR/micro_counting.json"
+run "$BUILD_DIR/bench/micro_itemset" \
+  --benchmark_out="$RESULTS_DIR/micro_itemset.json" \
+  --benchmark_out_format=json | tee bench_micro_itemset.txt
+validate_json "$RESULTS_DIR/micro_itemset.json"
+echo "All experiment outputs written (tables: bench_*.txt, JSON: $RESULTS_DIR/)."

@@ -8,6 +8,7 @@
 #include "counting/counter_factory.h"
 #include "itemset/itemset_ops.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace pincer {
@@ -43,6 +44,7 @@ FrequentSetResult AprioriMine(const TransactionDatabase& db,
   MiningStats& stats = result.stats;
   const uint64_t min_count = db.MinSupportCount(options.min_support);
   auto counter = CreateCounter(options.backend, db);
+  if (options.collect_counter_metrics) counter->set_metrics(&stats.counting);
 
   // ---- Pass 1: 1-itemsets.
   std::vector<Itemset> l1;
@@ -52,15 +54,18 @@ FrequentSetResult AprioriMine(const TransactionDatabase& db,
     pass.pass = 1;
     pass.num_candidates = db.num_items();
     std::vector<uint64_t> counts;
-    if (options.use_array_fast_path) {
-      counts = CountSingletons(db);
-    } else {
-      std::vector<Itemset> singles;
-      singles.reserve(db.num_items());
-      for (ItemId item = 0; item < db.num_items(); ++item) {
-        singles.push_back(Itemset{item});
+    {
+      ScopedMsTimer count_timer(pass.counting_ms);
+      if (options.use_array_fast_path) {
+        counts = CountSingletons(db);
+      } else {
+        std::vector<Itemset> singles;
+        singles.reserve(db.num_items());
+        for (ItemId item = 0; item < db.num_items(); ++item) {
+          singles.push_back(Itemset{item});
+        }
+        counts = counter->CountSupports(singles);
       }
-      counts = counter->CountSupports(singles);
     }
     for (ItemId item = 0; item < db.num_items(); ++item) {
       if (counts[item] >= min_count) {
@@ -90,7 +95,10 @@ FrequentSetResult AprioriMine(const TransactionDatabase& db,
 
     if (options.use_array_fast_path) {
       PairCountMatrix matrix(frequent_items);
-      matrix.CountDatabase(db);
+      {
+        ScopedMsTimer count_timer(pass.counting_ms);
+        matrix.CountDatabase(db);
+      }
       for (size_t i = 0; i < frequent_items.size(); ++i) {
         for (size_t j = i + 1; j < frequent_items.size(); ++j) {
           const uint64_t count =
@@ -109,7 +117,11 @@ FrequentSetResult AprioriMine(const TransactionDatabase& db,
           pairs.push_back(Itemset{frequent_items[i], frequent_items[j]});
         }
       }
-      const std::vector<uint64_t> counts = counter->CountSupports(pairs);
+      std::vector<uint64_t> counts;
+      {
+        ScopedMsTimer count_timer(pass.counting_ms);
+        counts = counter->CountSupports(pairs);
+      }
       for (size_t i = 0; i < pairs.size(); ++i) {
         if (counts[i] >= min_count) {
           lk.push_back(pairs[i]);
@@ -129,7 +141,12 @@ FrequentSetResult AprioriMine(const TransactionDatabase& db,
   // ---- Passes k >= 3: Apriori-gen + backend counting.
   size_t k = 3;
   while (lk.size() >= 2) {
-    const std::vector<Itemset> candidates = AprioriGen(lk);
+    double gen_ms = 0;
+    std::vector<Itemset> candidates;
+    {
+      ScopedMsTimer gen_timer(gen_ms);
+      candidates = AprioriGen(lk);
+    }
     if (candidates.empty()) break;
     // Budget check ordered after the termination test so a run that is
     // already complete is never misreported as aborted; checked after
@@ -145,10 +162,15 @@ FrequentSetResult AprioriMine(const TransactionDatabase& db,
     PassStats pass;
     pass.pass = k;
     pass.num_candidates = candidates.size();
+    pass.candidate_gen_ms = gen_ms;
     stats.total_candidates += candidates.size();
     stats.reported_candidates += candidates.size();
 
-    const std::vector<uint64_t> counts = counter->CountSupports(candidates);
+    std::vector<uint64_t> counts;
+    {
+      ScopedMsTimer count_timer(pass.counting_ms);
+      counts = counter->CountSupports(candidates);
+    }
     std::vector<Itemset> next;
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (counts[i] >= min_count) {

@@ -6,6 +6,7 @@
 #include "counting/array_counters.h"
 #include "counting/counter_factory.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace pincer {
@@ -18,6 +19,7 @@ FrequentSetResult AprioriCombinedMine(const TransactionDatabase& db,
   MiningStats& stats = result.stats;
   const uint64_t min_count = db.MinSupportCount(options.min_support);
   auto counter = CreateCounter(options.backend, db);
+  if (options.collect_counter_metrics) counter->set_metrics(&stats.counting);
 
   // Passes 1 and 2 are identical to plain Apriori (array fast paths); reuse
   // its driver on a clipped problem would re-scan, so inline the two passes.
@@ -27,7 +29,11 @@ FrequentSetResult AprioriCombinedMine(const TransactionDatabase& db,
     PassStats pass;
     pass.pass = 1;
     pass.num_candidates = db.num_items();
-    const std::vector<uint64_t> counts = CountSingletons(db);
+    std::vector<uint64_t> counts;
+    {
+      ScopedMsTimer count_timer(pass.counting_ms);
+      counts = CountSingletons(db);
+    }
     for (ItemId item = 0; item < db.num_items(); ++item) {
       if (counts[item] >= min_count) {
         l1.push_back(Itemset{item});
@@ -49,7 +55,10 @@ FrequentSetResult AprioriCombinedMine(const TransactionDatabase& db,
     for (const Itemset& single : l1) frequent_items.push_back(single[0]);
     pass.num_candidates = l1.size() * (l1.size() - 1) / 2;
     PairCountMatrix matrix(frequent_items);
-    matrix.CountDatabase(db);
+    {
+      ScopedMsTimer count_timer(pass.counting_ms);
+      matrix.CountDatabase(db);
+    }
     for (size_t i = 0; i < frequent_items.size(); ++i) {
       for (size_t j = i + 1; j < frequent_items.size(); ++j) {
         const uint64_t count =
@@ -77,7 +86,12 @@ FrequentSetResult AprioriCombinedMine(const TransactionDatabase& db,
       break;
     }
 
-    std::vector<Itemset> candidates = AprioriGen(lk);
+    double gen_ms = 0;
+    std::vector<Itemset> candidates;
+    {
+      ScopedMsTimer gen_timer(gen_ms);
+      candidates = AprioriGen(lk);
+    }
     if (candidates.empty()) break;
 
     std::vector<uint64_t> counts(candidates.size(), 0);
@@ -109,7 +123,11 @@ FrequentSetResult AprioriCombinedMine(const TransactionDatabase& db,
       std::vector<Itemset> batch = candidates;
       size_t optimistic_start = batch.size();
       if (candidates.size() <= combined.combine_threshold) {
-        std::vector<Itemset> optimistic = AprioriGen(candidates);
+        std::vector<Itemset> optimistic;
+        {
+          ScopedMsTimer gen_timer(gen_ms);
+          optimistic = AprioriGen(candidates);
+        }
         optimistic_start = batch.size();
         batch.insert(batch.end(),
                      std::make_move_iterator(optimistic.begin()),
@@ -120,11 +138,15 @@ FrequentSetResult AprioriCombinedMine(const TransactionDatabase& db,
       PassStats pass;
       pass.pass = k;
       pass.num_candidates = batch.size();
+      pass.candidate_gen_ms = gen_ms;
       stats.total_candidates += batch.size();
       stats.reported_candidates += batch.size();
 
-      const std::vector<uint64_t> batch_counts =
-          counter->CountSupports(batch);
+      std::vector<uint64_t> batch_counts;
+      {
+        ScopedMsTimer count_timer(pass.counting_ms);
+        batch_counts = counter->CountSupports(batch);
+      }
       for (size_t i = 0; i < candidates.size(); ++i) {
         counts[i] = batch_counts[i];
       }

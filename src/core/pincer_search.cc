@@ -13,6 +13,7 @@
 #include "counting/counter_factory.h"
 #include "itemset/itemset_set.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace pincer {
@@ -37,7 +38,11 @@ class PincerDriver {
         options_(options),
         min_count_(db.MinSupportCount(options.min_support)),
         counter_(CreateCounter(options.backend, db)),
-        mfcs_(db.num_items()) {}
+        mfcs_(db.num_items()) {
+    if (options_.collect_counter_metrics) {
+      counter_->set_metrics(&stats_.counting);
+    }
+  }
 
   MaximalSetResult Run();
 
@@ -53,8 +58,11 @@ class PincerDriver {
   // elements. Produces L_2.
   std::vector<Itemset> PassTwo(const std::vector<ItemId>& frequent_items);
 
-  // Pass k >= 3 over an explicit candidate list. Produces L_k.
-  std::vector<Itemset> PassK(size_t k, const std::vector<Itemset>& candidates);
+  // Pass k >= 3 over an explicit candidate list. Produces L_k. `gen_ms` is
+  // the wall time Run() spent generating `candidates` (phase-timer
+  // attribution; generation happens before the pass record exists).
+  std::vector<Itemset> PassK(size_t k, const std::vector<Itemset>& candidates,
+                             double gen_ms);
 
   // Counts the unclassified MFCS elements with the generic backend (their
   // lengths vary, so the array fast paths never apply), classifies them,
@@ -261,7 +269,11 @@ void PincerDriver::CountAndClassifyMfcs(PassStats& pass) {
   stats_.reported_candidates += elements.size();
   stats_.total_candidates += elements.size();
 
-  const std::vector<uint64_t> counts = counter_->CountSupports(elements);
+  std::vector<uint64_t> counts;
+  {
+    ScopedMsTimer timer(pass.counting_ms);
+    counts = counter_->CountSupports(elements);
+  }
   std::vector<Itemset> infrequent;
   for (size_t i = 0; i < elements.size(); ++i) {
     cache_.emplace(elements[i], counts[i]);
@@ -274,6 +286,7 @@ void PincerDriver::CountAndClassifyMfcs(PassStats& pass) {
   }
   // Infrequent elements stay in the set: MFCS-gen matches each as its own
   // superset and replaces it with its one-item-removed subsets.
+  ScopedMsTimer timer(pass.mfcs_update_ms);
   UpdateMfcs(infrequent, pass.pass);
 }
 
@@ -284,15 +297,18 @@ std::vector<Itemset> PincerDriver::PassOne() {
   pass.num_candidates = db_.num_items();
   stats_.total_candidates += db_.num_items();
 
-  if (options_.use_array_fast_path) {
-    singleton_counts_ = CountSingletons(db_);
-  } else {
-    std::vector<Itemset> singles;
-    singles.reserve(db_.num_items());
-    for (ItemId item = 0; item < db_.num_items(); ++item) {
-      singles.push_back(Itemset{item});
+  {
+    ScopedMsTimer timer(pass.counting_ms);
+    if (options_.use_array_fast_path) {
+      singleton_counts_ = CountSingletons(db_);
+    } else {
+      std::vector<Itemset> singles;
+      singles.reserve(db_.num_items());
+      for (ItemId item = 0; item < db_.num_items(); ++item) {
+        singles.push_back(Itemset{item});
+      }
+      singleton_counts_ = counter_->CountSupports(singles);
     }
-    singleton_counts_ = counter_->CountSupports(singles);
   }
 
   std::vector<Itemset> infrequent;
@@ -312,7 +328,10 @@ std::vector<Itemset> PincerDriver::PassOne() {
   // Count the MFCS (initially the full itemset) in the same pass, as the
   // paper's line 6 does, then fold the infrequent singletons into MFCS-gen.
   CountAndClassifyMfcs(pass);
-  UpdateMfcs(infrequent, 1, pass.num_frequent);
+  {
+    ScopedMsTimer timer(pass.mfcs_update_ms);
+    UpdateMfcs(infrequent, 1, pass.num_frequent);
+  }
 
   // L_1 := frequent 1-itemsets minus subsets of MFS elements (line 8) — or,
   // after an adaptive switch-off, the complete frequent 1-set.
@@ -380,7 +399,10 @@ std::vector<Itemset> PincerDriver::PassTwo(
 
   if (options_.use_array_fast_path && frequent_items.size() >= 2) {
     pair_matrix_.emplace(frequent_items);
-    pair_matrix_->CountDatabase(db_);
+    {
+      ScopedMsTimer timer(pass.counting_ms);
+      pair_matrix_->CountDatabase(db_);
+    }
     {
       size_t num_frequent_pairs = 0;
       size_t num_infrequent_pairs = 0;
@@ -412,7 +434,11 @@ std::vector<Itemset> PincerDriver::PassTwo(
         pairs.push_back(Itemset{frequent_items[i], frequent_items[j]});
       }
     }
-    const std::vector<uint64_t> counts = counter_->CountSupports(pairs);
+    std::vector<uint64_t> counts;
+    {
+      ScopedMsTimer timer(pass.counting_ms);
+      counts = counter_->CountSupports(pairs);
+    }
     for (size_t i = 0; i < pairs.size(); ++i) {
       classify_pair(pairs[i][0], pairs[i][1], counts[i], /*cache_count=*/true);
     }
@@ -425,7 +451,10 @@ std::vector<Itemset> PincerDriver::PassTwo(
   stats_.total_candidates += num_pairs;
 
   CountAndClassifyMfcs(pass);
-  UpdateMfcs(infrequent, 2, pass.num_frequent);
+  {
+    ScopedMsTimer timer(pass.mfcs_update_ms);
+    UpdateMfcs(infrequent, 2, pass.num_frequent);
+  }
 
   // Re-apply line 8 with the MFS as updated this pass — or rebuild the
   // complete L_2 if the adaptive policy switched off during this pass.
@@ -451,18 +480,24 @@ std::vector<Itemset> PincerDriver::PassTwo(
 }
 
 std::vector<Itemset> PincerDriver::PassK(size_t k,
-                                         const std::vector<Itemset>& candidates) {
+                                         const std::vector<Itemset>& candidates,
+                                         double gen_ms) {
   ++stats_.passes;
   PassStats pass;
   pass.pass = k;
   pass.num_candidates = candidates.size();
+  pass.candidate_gen_ms = gen_ms;
   stats_.total_candidates += candidates.size();
   stats_.reported_candidates += candidates.size();
 
   std::vector<Itemset> lk;
   std::vector<Itemset> infrequent;
   if (!candidates.empty()) {
-    const std::vector<uint64_t> counts = counter_->CountSupports(candidates);
+    std::vector<uint64_t> counts;
+    {
+      ScopedMsTimer timer(pass.counting_ms);
+      counts = counter_->CountSupports(candidates);
+    }
     for (size_t i = 0; i < candidates.size(); ++i) {
       RecordCount(candidates[i], counts[i], /*covered=*/false);
       if (IsFrequentCount(counts[i])) {
@@ -475,7 +510,10 @@ std::vector<Itemset> PincerDriver::PassK(size_t k,
   }
 
   CountAndClassifyMfcs(pass);
-  UpdateMfcs(infrequent, k, pass.num_frequent);
+  {
+    ScopedMsTimer timer(pass.mfcs_update_ms);
+    UpdateMfcs(infrequent, k, pass.num_frequent);
+  }
 
   // Line 8: remove subsets of MFS elements found this pass — or rebuild the
   // complete L_k if the adaptive policy switched off during this pass.
@@ -519,8 +557,13 @@ MaximalSetResult PincerDriver::Run() {
   while (k <= max_passes) {
     // With a live MFCS, generation is join + recovery + new prune; after
     // the adaptive switch-off it is plain Apriori-gen over the complete L_k.
-    std::vector<Itemset> candidates =
-        maintain_mfcs_ ? PincerCandidateGen(lk, mfs_) : AprioriGen(lk);
+    double gen_ms = 0;
+    std::vector<Itemset> candidates;
+    {
+      ScopedMsTimer gen_timer(gen_ms);
+      candidates = maintain_mfcs_ ? PincerCandidateGen(lk, mfs_)
+                                  : AprioriGen(lk);
+    }
     if (candidates.empty() && (!maintain_mfcs_ || mfcs_.empty())) break;
     // Ordered after the termination test so a completed run is never
     // misreported as aborted.
@@ -529,7 +572,7 @@ MaximalSetResult PincerDriver::Run() {
       stats_.aborted = true;
       break;
     }
-    lk = PassK(k, candidates);
+    lk = PassK(k, candidates, gen_ms);
     ++k;
   }
 

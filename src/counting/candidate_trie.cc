@@ -19,6 +19,15 @@ void CandidateTrie::Insert(const Itemset& candidate, size_t external_index) {
   node->terminals.push_back(external_index);
 }
 
+size_t CandidateTrie::NumNodes() const {
+  auto count = [](auto&& self, const Node& node) -> size_t {
+    size_t total = 1;
+    for (const auto& [item, child] : node.children) total += self(self, *child);
+    return total;
+  };
+  return count(count, root_);
+}
+
 void CandidateTrie::CountTransaction(const Transaction& transaction,
                                      std::vector<uint64_t>& counts) const {
   CountWalk(&root_, transaction, 0, counts);

@@ -33,6 +33,10 @@ class CandidateTrie {
   void CountTransaction(const Transaction& transaction,
                         std::vector<uint64_t>& counts) const;
 
+  /// Number of nodes (including the root). Computed by traversal — meant
+  /// for per-batch observability (CountingMetrics), not hot paths.
+  size_t NumNodes() const;
+
  private:
   struct Node {
     // Children sorted by item id, enabling a merge-intersection with the

@@ -102,6 +102,17 @@ void HashTree::CountNode(Node* node, const Transaction& transaction,
   }
 }
 
+size_t HashTree::NumNodes() const {
+  auto count = [](auto&& self, const Node& node) -> size_t {
+    size_t total = 1;
+    for (const std::unique_ptr<Node>& child : node.children) {
+      if (child) total += self(self, *child);
+    }
+    return total;
+  };
+  return count(count, *root_);
+}
+
 HashTreeCounter::HashTreeCounter(const TransactionDatabase& db) : db_(db) {}
 
 std::vector<uint64_t> HashTreeCounter::CountSupports(
@@ -121,6 +132,14 @@ std::vector<uint64_t> HashTreeCounter::CountSupports(
     it->second.Insert(candidates[i], i);
   }
 
+  if (metrics_ != nullptr) {
+    ++metrics_->count_calls;
+    metrics_->candidates_counted += candidates.size();
+    if (!trees.empty()) metrics_->transactions_scanned += db_.size();
+    for (const auto& [size, tree] : trees) {
+      metrics_->structure_nodes += tree.NumNodes();
+    }
+  }
   for (const Transaction& transaction : db_.transactions()) {
     for (auto& [size, tree] : trees) {
       tree.CountTransaction(transaction, counts);

@@ -43,6 +43,10 @@ class HashTree {
 
   size_t candidate_size() const { return candidate_size_; }
 
+  /// Number of nodes (including the root). Computed by traversal — meant
+  /// for per-batch observability (CountingMetrics), not hot paths.
+  size_t NumNodes() const;
+
  private:
   struct Node {
     bool is_leaf = true;

@@ -9,6 +9,11 @@ LinearCounter::LinearCounter(const TransactionDatabase& db) : db_(db) {
 std::vector<uint64_t> LinearCounter::CountSupports(
     const std::vector<Itemset>& candidates) {
   std::vector<uint64_t> counts(candidates.size(), 0);
+  if (metrics_ != nullptr) {
+    ++metrics_->count_calls;
+    metrics_->candidates_counted += candidates.size();
+    metrics_->transactions_scanned += db_.size();
+  }
   for (size_t tid = 0; tid < db_.size(); ++tid) {
     const DynamicBitset& bits = db_.transaction_bits(tid);
     const size_t transaction_size = db_.transaction(tid).size();

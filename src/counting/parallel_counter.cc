@@ -29,6 +29,12 @@ std::vector<uint64_t> ParallelCounter::CountSupports(
     trie.Insert(candidates[i], i);
     ++num_nonempty;
   }
+  if (metrics_ != nullptr) {
+    ++metrics_->count_calls;
+    metrics_->candidates_counted += candidates.size();
+    metrics_->structure_nodes += trie.NumNodes();
+    if (num_nonempty > 0) metrics_->transactions_scanned += db_.size();
+  }
   if (num_nonempty == 0 || db_.empty()) return counts;
 
   const size_t workers =

@@ -11,6 +11,7 @@
 
 #include "data/database.h"
 #include "itemset/itemset.h"
+#include "util/metrics.h"
 
 namespace pincer {
 
@@ -46,6 +47,16 @@ class SupportCounter {
 
   /// Backend identifier for logs and stats.
   virtual CounterBackend backend() const = 0;
+
+  /// Attaches an observability sink: subsequent CountSupports calls
+  /// accumulate aggregate work counters into `*metrics`, which must outlive
+  /// the counter's use. Null (the default) disables collection; backends
+  /// only touch the sink behind one per-call null test, so the disabled
+  /// hook adds no measurable counting overhead (see EXPERIMENTS.md).
+  void set_metrics(CountingMetrics* metrics) { metrics_ = metrics; }
+
+ protected:
+  CountingMetrics* metrics_ = nullptr;
 };
 
 }  // namespace pincer

@@ -18,6 +18,12 @@ std::vector<uint64_t> TrieCounter::CountSupports(
     trie.Insert(candidates[i], i);
     ++num_nonempty;
   }
+  if (metrics_ != nullptr) {
+    ++metrics_->count_calls;
+    metrics_->candidates_counted += candidates.size();
+    metrics_->structure_nodes += trie.NumNodes();
+    if (num_nonempty > 0) metrics_->transactions_scanned += db_.size();
+  }
   if (num_nonempty == 0) return counts;
 
   for (const Transaction& transaction : db_.transactions()) {

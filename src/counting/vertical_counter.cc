@@ -7,6 +7,12 @@ VerticalCounter::VerticalCounter(const TransactionDatabase& db) : db_(db) {}
 std::vector<uint64_t> VerticalCounter::CountSupports(
     const std::vector<Itemset>& candidates) {
   if (index_ == nullptr) index_ = std::make_unique<VerticalIndex>(db_);
+  if (metrics_ != nullptr) {
+    // The vertical backend reads per-item bitmaps, not database rows;
+    // transactions_scanned stays 0 by design (see CountingMetrics docs).
+    ++metrics_->count_calls;
+    metrics_->candidates_counted += candidates.size();
+  }
   std::vector<uint64_t> counts(candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {
     counts[i] = index_->CountSupport(candidates[i]);

@@ -25,6 +25,11 @@ FrequentSetResult PartitionMine(const TransactionDatabase& db,
   uint64_t local_candidates = 0;
   const size_t chunk = (db.size() + num_partitions - 1) / num_partitions;
   for (size_t p = 0; p < num_partitions; ++p) {
+    if (options.time_budget_ms > 0 &&
+        timer.ElapsedMillis() > options.time_budget_ms) {
+      result.stats.aborted = true;
+      break;
+    }
     const size_t begin = p * chunk;
     const size_t end = std::min(begin + chunk, db.size());
     if (begin >= end) break;
@@ -34,6 +39,7 @@ FrequentSetResult PartitionMine(const TransactionDatabase& db,
     }
     MiningOptions local_options = options;  // same fractional threshold
     const FrequentSetResult local_result = AprioriMine(local, local_options);
+    if (local_result.stats.aborted) result.stats.aborted = true;
     local_candidates += local_result.stats.reported_candidates;
     for (const FrequentItemset& fi : local_result.frequent) {
       if (candidate_union.Insert(fi.itemset)) {

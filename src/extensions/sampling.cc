@@ -78,6 +78,7 @@ FrequentSetResult SamplingMine(const TransactionDatabase& db,
   MiningOptions sample_options = options;
   sample_options.min_support = options.min_support * sampling.lowered_factor;
   const FrequentSetResult sample_result = AprioriMine(sample, sample_options);
+  if (sample_result.stats.aborted) result.stats.aborted = true;
 
   // Candidate family S (downward closed by construction).
   std::vector<Itemset> family = ItemsetsOf(sample_result.frequent);
@@ -103,6 +104,12 @@ FrequentSetResult SamplingMine(const TransactionDatabase& db,
 
   // Verify S plus its negative border; extend on misses.
   for (size_t round = 0; round < sampling.max_correction_rounds; ++round) {
+    if (options.time_budget_ms > 0 &&
+        timer.ElapsedMillis() > options.time_budget_ms) {
+      result.stats.aborted = true;
+      result.stats.elapsed_millis = timer.ElapsedMillis();
+      return result;
+    }
     std::vector<Itemset> border = NegativeBorder(family, db.num_items());
     std::vector<Itemset> batch = family;
     batch.insert(batch.end(), border.begin(), border.end());

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "util/json_writer.h"
+
 namespace pincer {
 
 std::string MiningStats::ToString() const {
@@ -23,6 +25,46 @@ std::string MiningStats::ToString() const {
        << " mfs_found=" << pass.num_mfs_found
        << " mfcs_after=" << pass.mfcs_size_after << "\n";
   }
+  return os.str();
+}
+
+void PassStats::ToJson(JsonWriter& json) const {
+  json.BeginObject();
+  json.KeyValue("pass", static_cast<uint64_t>(pass));
+  json.KeyValue("candidates", static_cast<uint64_t>(num_candidates));
+  json.KeyValue("mfcs_candidates", static_cast<uint64_t>(num_mfcs_candidates));
+  json.KeyValue("frequent", static_cast<uint64_t>(num_frequent));
+  json.KeyValue("mfs_found", static_cast<uint64_t>(num_mfs_found));
+  json.KeyValue("mfcs_size_after", static_cast<uint64_t>(mfcs_size_after));
+  json.KeyValue("candidate_gen_ms", candidate_gen_ms);
+  json.KeyValue("counting_ms", counting_ms);
+  json.KeyValue("mfcs_update_ms", mfcs_update_ms);
+  json.EndObject();
+}
+
+void MiningStats::ToJson(JsonWriter& json) const {
+  json.BeginObject();
+  json.KeyValue("passes", static_cast<uint64_t>(passes));
+  json.KeyValue("reported_candidates", reported_candidates);
+  json.KeyValue("total_candidates", total_candidates);
+  json.KeyValue("mfcs_candidates", mfcs_candidates);
+  json.KeyValue("elapsed_ms", elapsed_millis);
+  json.KeyValue("aborted", aborted);
+  json.KeyValue("mfcs_disabled", mfcs_disabled);
+  json.KeyValue("mfcs_disabled_at_pass",
+                static_cast<uint64_t>(mfcs_disabled_at_pass));
+  json.Key("counting");
+  counting.ToJson(json);
+  json.Key("per_pass").BeginArray();
+  for (const PassStats& pass : per_pass) pass.ToJson(json);
+  json.EndArray();
+  json.EndObject();
+}
+
+std::string MiningStats::ToJsonString() const {
+  std::ostringstream os;
+  JsonWriter json(os);
+  ToJson(json);
   return os.str();
 }
 

@@ -1,6 +1,24 @@
 // Execution statistics matching the metrics the paper's Figures 3-4 report:
 // wall time, number of database passes, and number of candidates considered
 // (with the paper's accounting conventions, see §4.1.1).
+//
+// Field-to-figure map (what each counter reproduces):
+//   * MiningStats::passes           — the "passes" series of Figures 3-4.
+//   * MiningStats::reported_candidates — the "candidates" series of
+//     Figures 3-4, with §4.1.1's convention: passes 1-2 excluded, MFCS
+//     elements included.
+//   * MiningStats::elapsed_millis   — the "relative time" series.
+//   * PassStats                     — the per-pass breakdown behind those
+//     totals, extended with a wall-time split (candidate generation vs
+//     support counting vs MFCS maintenance) that quantifies the paper's
+//     §3.5 trade-off between pass savings and MFCS bookkeeping.
+//   * MiningStats::counting         — backend work counters (§4.1.1's
+//     structural-cost argument), filled when
+//     MiningOptions::collect_counter_metrics is set.
+//
+// Every field is exported verbatim by ToJson() under the schema documented
+// in EXPERIMENTS.md ("Method"); ToString() renders the same numbers for
+// humans, and the two are tested to agree.
 
 #ifndef PINCER_MINING_MINING_STATS_H_
 #define PINCER_MINING_MINING_STATS_H_
@@ -10,7 +28,11 @@
 #include <string>
 #include <vector>
 
+#include "util/metrics.h"
+
 namespace pincer {
+
+class JsonWriter;
 
 /// Per-pass breakdown.
 struct PassStats {
@@ -26,6 +48,20 @@ struct PassStats {
   size_t num_mfs_found = 0;
   /// |MFCS| after this pass's update (0 for Apriori).
   size_t mfcs_size_after = 0;
+  /// Wall time generating this pass's candidates (Apriori-gen or the
+  /// Pincer join + recovery + prune; 0 for passes 1-2, which use the
+  /// §4.1.1 array fast paths and generate nothing).
+  double candidate_gen_ms = 0.0;
+  /// Wall time counting supports this pass: C_k plus (for Pincer) the
+  /// unclassified MFCS elements.
+  double counting_ms = 0.0;
+  /// Wall time maintaining the MFCS this pass: MFCS-gen updates, cache
+  /// resolution, and MFS migration (0 for Apriori).
+  double mfcs_update_ms = 0.0;
+
+  /// Emits this pass as one JSON object (see EXPERIMENTS.md for the
+  /// schema).
+  void ToJson(JsonWriter& json) const;
 };
 
 /// Whole-run statistics.
@@ -51,11 +87,26 @@ struct MiningStats {
   bool mfcs_disabled = false;
   /// Pass at which it was abandoned (0 if never).
   size_t mfcs_disabled_at_pass = 0;
+  /// Counting-backend work counters. All zero unless
+  /// MiningOptions::collect_counter_metrics was set for the run. Covers
+  /// the generic backend only — the §4.1.1 pass-1/2 array fast paths are
+  /// not routed through it.
+  CountingMetrics counting;
   /// Per-pass detail.
   std::vector<PassStats> per_pass;
 
   /// Multi-line human-readable rendering.
   std::string ToString() const;
+
+  /// Emits the whole run as one JSON object whose totals match ToString()
+  /// byte for byte (integers) and value for value (times). Schema in
+  /// EXPERIMENTS.md; versioned by kStatsJsonSchemaVersion at the document
+  /// level, not here.
+  void ToJson(JsonWriter& json) const;
+
+  /// Convenience: ToJson into a string (pretty-printed, no trailing
+  /// newline).
+  std::string ToJsonString() const;
 };
 
 }  // namespace pincer

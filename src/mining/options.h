@@ -38,6 +38,12 @@ struct MiningOptions {
   /// cardinality cap does.
   size_t mfcs_work_limit = 0;
 
+  /// Attach a CountingMetrics sink to the counting backend so
+  /// MiningStats::counting reports backend work (calls, candidates,
+  /// transactions scanned, structure nodes). Off by default: the figure
+  /// harnesses and mine_cli enable it together with their JSON output.
+  bool collect_counter_metrics = false;
+
   /// Emit per-pass progress via PINCER_LOG(kInfo).
   bool verbose = false;
 

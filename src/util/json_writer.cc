@@ -1,0 +1,164 @@
+#include "util/json_writer.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace pincer {
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {}
+
+void JsonWriter::WriteIndent() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (size_t level = 0; level < stack_.size(); ++level) {
+    for (int space = 0; space < indent_; ++space) os_ << ' ';
+  }
+}
+
+void JsonWriter::BeforeItem() {
+  if (pending_key_) {
+    // Value directly after Key(): the separator was already written.
+    pending_key_ = false;
+    return;
+  }
+  if (need_comma_) os_ << ',';
+  if (!stack_.empty()) WriteIndent();
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeItem();
+  os_ << '{';
+  stack_.push_back(Scope::kObject);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject);
+  const bool had_items = need_comma_;
+  stack_.pop_back();
+  if (had_items) WriteIndent();
+  os_ << '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeItem();
+  os_ << '[';
+  stack_.push_back(Scope::kArray);
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  assert(!stack_.empty() && stack_.back() == Scope::kArray);
+  const bool had_items = need_comma_;
+  stack_.pop_back();
+  if (had_items) WriteIndent();
+  os_ << ']';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  assert(!stack_.empty() && stack_.back() == Scope::kObject);
+  assert(!pending_key_);
+  BeforeItem();
+  os_ << '"' << Escape(key) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view value) {
+  BeforeItem();
+  os_ << '"' << Escape(value) << '"';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool value) {
+  BeforeItem();
+  os_ << (value ? "true" : "false");
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t value) {
+  BeforeItem();
+  os_ << value;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t value) {
+  BeforeItem();
+  os_ << value;
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double value) {
+  if (!std::isfinite(value)) return Null();
+  BeforeItem();
+  // Shortest decimal form that round-trips to the same double.
+  char buffer[32];
+  const std::to_chars_result result =
+      std::to_chars(buffer, buffer + sizeof(buffer), value);
+  os_.write(buffer, result.ptr - buffer);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeItem();
+  os_ << "null";
+  need_comma_ = true;
+  return *this;
+}
+
+std::string JsonWriter::Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char escaped[8];
+          std::snprintf(escaped, sizeof(escaped), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += escaped;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace pincer

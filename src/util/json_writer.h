@@ -1,0 +1,93 @@
+// Minimal streaming JSON emitter (no external dependencies) used by the
+// observability layer: MiningStats::ToJson, the bench harnesses' --json
+// output, and mine_cli --stats-json. Produces pretty-printed, standards-
+// compliant JSON; non-finite doubles (which JSON cannot represent) are
+// emitted as null.
+
+#ifndef PINCER_UTIL_JSON_WRITER_H_
+#define PINCER_UTIL_JSON_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pincer {
+
+/// Streaming JSON writer over an std::ostream. The caller drives the
+/// document structure with Begin/End calls; the writer inserts commas,
+/// newlines, and indentation, and escapes strings. Usage:
+///
+///   JsonWriter json(os);
+///   json.BeginObject();
+///   json.Key("passes").Value(uint64_t{4});
+///   json.Key("per_pass").BeginArray();
+///   ...
+///   json.EndArray().EndObject();
+///
+/// Structural misuse (e.g. a value in an object position without a Key) is
+/// a programming error and asserts in debug builds; the writer performs no
+/// dynamic validation beyond its context stack in release builds.
+class JsonWriter {
+ public:
+  /// Writes to `os`, which must outlive the writer. `indent` spaces per
+  /// nesting level; 0 emits compact single-line JSON.
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key; must be followed by exactly one value or
+  /// container.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value) {
+    return Value(std::string_view(value));
+  }
+  JsonWriter& Value(bool value);
+  JsonWriter& Value(uint64_t value);
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(int value) { return Value(static_cast<int64_t>(value)); }
+  JsonWriter& Value(unsigned value) {
+    return Value(static_cast<uint64_t>(value));
+  }
+  /// Doubles use the shortest round-trip decimal form; NaN and +/-Inf
+  /// become null.
+  JsonWriter& Value(double value);
+  JsonWriter& Null();
+
+  /// Convenience: Key(key).Value(value).
+  template <typename T>
+  JsonWriter& KeyValue(std::string_view key, T&& value) {
+    Key(key);
+    return Value(std::forward<T>(value));
+  }
+
+  /// JSON string escaping (quotes, backslash, control characters as \uXXXX;
+  /// other bytes pass through, so UTF-8 input stays UTF-8). Exposed for
+  /// tests and ad-hoc emitters.
+  static std::string Escape(std::string_view raw);
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  // Comma/newline/indent bookkeeping before a value or key is emitted.
+  void BeforeItem();
+  void WriteIndent();
+
+  std::ostream& os_;
+  const int indent_;
+  std::vector<Scope> stack_;
+  // True when the current container already holds at least one item.
+  bool need_comma_ = false;
+  // True between Key() and its value: the next value belongs to the key.
+  bool pending_key_ = false;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_UTIL_JSON_WRITER_H_

@@ -1,0 +1,16 @@
+#include "util/metrics.h"
+
+#include "util/json_writer.h"
+
+namespace pincer {
+
+void CountingMetrics::ToJson(JsonWriter& json) const {
+  json.BeginObject();
+  json.KeyValue("count_calls", count_calls);
+  json.KeyValue("candidates_counted", candidates_counted);
+  json.KeyValue("transactions_scanned", transactions_scanned);
+  json.KeyValue("structure_nodes", structure_nodes);
+  json.EndObject();
+}
+
+}  // namespace pincer

@@ -1,0 +1,142 @@
+// End-to-end test of `mine_cli --stats-json=FILE`: runs the real binary on a
+// temp basket file and checks the emitted JSON parses and matches the stats
+// an in-process MineMaximal reports on the same database. The binary path is
+// injected at configure time (PINCER_MINE_CLI_PATH); the test is skipped when
+// examples are not built.
+
+#include <sys/wait.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/database_io.h"
+#include "mining/miner.h"
+#include "tests/test_json_parser.h"
+
+namespace pincer {
+namespace {
+
+using test::JsonValue;
+using test::ParseJson;
+
+const char kBasket[] =
+    "1 2 3 4\n"
+    "1 2 3 5\n"
+    "1 2 3\n"
+    "2 3 4\n"
+    "1 4 5\n"
+    "1 2 4 5\n"
+    "3 4 5\n"
+    "1 2 3 4 5\n";
+
+class MineCliJsonTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(MineCliJsonTest, StatsJsonMatchesInProcessRun) {
+#ifndef PINCER_MINE_CLI_PATH
+  GTEST_SKIP() << "examples not built; mine_cli binary unavailable";
+#else
+  const std::string algorithm = GetParam();
+  const std::string dir = testing::TempDir();
+  const std::string basket_path = dir + "/mine_cli_json_test.basket";
+  const std::string json_path =
+      dir + "/mine_cli_json_test_" + algorithm + ".json";
+  {
+    std::ofstream basket(basket_path);
+    ASSERT_TRUE(basket.good());
+    basket << kBasket;
+  }
+
+  std::ostringstream command;
+  command << PINCER_MINE_CLI_PATH << " " << basket_path
+          << " --min-support=0.25 --algorithm=" << algorithm
+          << " --stats-json=" << json_path << " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(command.str().c_str()), 0) << command.str();
+
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good()) << "mine_cli did not write " << json_path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = ParseJson(buffer.str());
+  ASSERT_TRUE(doc.has_value()) << buffer.str();
+
+  // Header identity.
+  EXPECT_EQ(doc->Find("schema_version")->number, 1.0);
+  EXPECT_EQ(doc->Find("tool")->string, "mine_cli");
+  EXPECT_EQ(doc->Find("algorithm")->string, algorithm);
+  EXPECT_EQ(doc->Find("input")->string, basket_path);
+
+  // Mine the same database in-process and compare the deterministic fields
+  // (counts and sizes; timings naturally differ between runs).
+  const StatusOr<TransactionDatabase> db = ReadDatabaseFromFile(basket_path);
+  ASSERT_TRUE(db.ok());
+  const StatusOr<Algorithm> parsed = ParseAlgorithm(algorithm);
+  ASSERT_TRUE(parsed.ok());
+  MiningOptions options;
+  options.min_support = 0.25;
+  options.collect_counter_metrics = true;
+  const MaximalSetResult expected = MineMaximal(*db, options, *parsed);
+
+  EXPECT_EQ(static_cast<uint64_t>(doc->Find("num_transactions")->number),
+            db->size());
+  EXPECT_EQ(static_cast<uint64_t>(doc->Find("mfs_size")->number),
+            expected.mfs.size());
+  EXPECT_EQ(static_cast<uint64_t>(doc->Find("mfs_max_len")->number),
+            MaxLength(expected.mfs));
+
+  const JsonValue* stats = doc->Find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(static_cast<uint64_t>(stats->Find("passes")->number),
+            expected.stats.passes);
+  EXPECT_EQ(
+      static_cast<uint64_t>(stats->Find("reported_candidates")->number),
+      expected.stats.reported_candidates);
+  EXPECT_EQ(static_cast<uint64_t>(stats->Find("total_candidates")->number),
+            expected.stats.total_candidates);
+  EXPECT_EQ(stats->Find("per_pass")->array.size(),
+            expected.stats.per_pass.size());
+
+  // --stats-json enables the backend counter metrics in the CLI.
+  const JsonValue* counting = stats->Find("counting");
+  ASSERT_NE(counting, nullptr);
+  EXPECT_EQ(static_cast<uint64_t>(counting->Find("count_calls")->number),
+            expected.stats.counting.count_calls);
+#endif
+}
+
+TEST(MineCliJsonTest, EmptyStatsJsonPathIsUsageError) {
+#ifndef PINCER_MINE_CLI_PATH
+  GTEST_SKIP() << "examples not built; mine_cli binary unavailable";
+#else
+  const std::string dir = testing::TempDir();
+  const std::string basket_path = dir + "/mine_cli_json_test_usage.basket";
+  {
+    std::ofstream basket(basket_path);
+    basket << kBasket;
+  }
+  std::ostringstream command;
+  command << PINCER_MINE_CLI_PATH << " " << basket_path
+          << " --stats-json= > /dev/null 2>&1";
+  const int status = std::system(command.str().c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2);
+#endif
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, MineCliJsonTest,
+                         testing::Values("apriori", "pincer",
+                                         "pincer-adaptive"),
+                         [](const auto& info) {
+                           const std::string name = info.param;
+                           return name == "apriori"
+                                      ? "Apriori"
+                                      : name == "pincer" ? "Pincer"
+                                                         : "PincerAdaptive";
+                         });
+
+}  // namespace
+}  // namespace pincer

@@ -1,0 +1,235 @@
+// Minimal recursive-descent JSON parser used only by the tests to round-trip
+// what JsonWriter emits. Deliberately independent of the writer (a shared
+// implementation could hide symmetric bugs). Supports the full JSON grammar
+// the writer can produce: objects, arrays, strings with escapes (including
+// \uXXXX for the control characters the writer emits), numbers, booleans,
+// null.
+
+#ifndef PINCER_TESTS_TEST_JSON_PARSER_H_
+#define PINCER_TESTS_TEST_JSON_PARSER_H_
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pincer {
+namespace test {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Insertion order preserved so tests can assert on key ordering.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  static std::optional<JsonValue> Parse(std::string_view text) {
+    JsonParser parser(text);
+    JsonValue value;
+    if (!parser.ParseValue(value)) return std::nullopt;
+    parser.SkipWhitespace();
+    if (parser.pos_ != text.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue& out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out.type = JsonValue::Type::kString;
+        return ParseString(out.string);
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        return Consume("true");
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        return Consume("false");
+      case 'n':
+        out.type = JsonValue::Type::kNull;
+        return Consume("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(key)) return false;
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue value;
+      if (!ParseValue(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(value)) return false;
+      out.array.push_back(std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        switch (text_[pos_]) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return false;
+            const std::string hex(text_.substr(pos_ + 1, 4));
+            char* end = nullptr;
+            const unsigned long code = std::strtoul(hex.c_str(), &end, 16);
+            if (end != hex.c_str() + 4) return false;
+            if (!AppendUtf8(out, static_cast<unsigned>(code))) return false;
+            pos_ += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+        ++pos_;
+      } else {
+        out.push_back(c);
+        ++pos_;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  static bool AppendUtf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      // Basic multilingual plane only; surrogate pairs are not needed for
+      // anything the writer emits (it only escapes ASCII control chars).
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return true;
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    const char* start = text_.data() + pos_;
+    char* end = nullptr;
+    out.type = JsonValue::Type::kNumber;
+    out.number = std::strtod(start, &end);
+    if (end == start) return false;
+    pos_ += static_cast<size_t>(end - start);
+    return true;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+inline std::optional<JsonValue> ParseJson(std::string_view text) {
+  return JsonParser::Parse(text);
+}
+
+}  // namespace test
+}  // namespace pincer
+
+#endif  // PINCER_TESTS_TEST_JSON_PARSER_H_

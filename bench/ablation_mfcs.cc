@@ -21,9 +21,11 @@ namespace {
 
 using namespace pincer;
 
-// Database label + size for the --json rows; set once in main().
+// Database label + size for the --json rows, and the counting thread count
+// for every run; set once in main() from the parsed BenchConfig.
 std::string ablation_db_label;
 size_t ablation_db_size = 0;
+size_t ablation_num_threads = 1;
 
 void RecordAblationRow(const std::string& experiment,
                        const std::string& algorithm,
@@ -80,6 +82,7 @@ void PureVsAdaptive(const TransactionDatabase& db, double min_support) {
     options.min_support = min_support;
     options.mfcs_cardinality_limit = cap;
     options.time_budget_ms = kAblationBudgetMs;
+    options.num_threads = ablation_num_threads;
     options.collect_counter_metrics = bench::JsonOutputEnabled();
     const MaximalSetResult result = PincerSearch(db, options);
     RecordAblationRow("Ablation 1: pure vs adaptive",
@@ -112,6 +115,7 @@ void CapSensitivity(const TransactionDatabase& db, double min_support) {
     options.min_support = min_support;
     options.mfcs_cardinality_limit = cap;
     options.time_budget_ms = kAblationBudgetMs;
+    options.num_threads = ablation_num_threads;
     options.collect_counter_metrics = bench::JsonOutputEnabled();
     const MaximalSetResult result = PincerSearch(db, options);
     const std::string cap_label =
@@ -146,6 +150,7 @@ void BackendComparison(const TransactionDatabase& db, double min_support) {
     options.min_support = min_support;
     options.backend = backend;
     options.time_budget_ms = kAblationBudgetMs;
+    options.num_threads = ablation_num_threads;
     options.collect_counter_metrics = bench::JsonOutputEnabled();
     const MaximalSetResult apriori =
         MineMaximal(db, options, Algorithm::kApriori);
@@ -181,6 +186,7 @@ int main(int argc, char** argv) {
   const TransactionDatabase db = MakeConcentratedDb(config.scale);
   ablation_db_label = "T20.I10.D" + std::to_string(db.size());
   ablation_db_size = db.size();
+  ablation_num_threads = config.num_threads;
   std::cout << "Ablation database: T20.I10, |L|=50, |D|=" << db.size()
             << "\n";
   PureVsAdaptive(db, 0.08);

@@ -107,6 +107,8 @@ BenchConfig ParseBenchArgs(int argc, char** argv) {
         std::fprintf(stderr, "unknown backend '%s'\n", name.c_str());
         std::exit(2);
       }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      config.num_threads = std::strtoul(arg.c_str() + 10, nullptr, 10);
     } else if (arg == "--skip-apriori") {
       config.skip_apriori = true;
     } else if (arg == "--full") {
@@ -123,8 +125,8 @@ BenchConfig ParseBenchArgs(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale=N] [--full] [--backend=trie|hash_tree|"
-                   "linear|vertical] [--skip-apriori] [--budget=MS] "
-                   "[--json=FILE]\n",
+                   "linear|vertical] [--threads=N] [--skip-apriori] "
+                   "[--budget=MS] [--json=FILE]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -174,6 +176,7 @@ void RunExperiment(const ExperimentSpec& spec, const BenchConfig& config) {
     MiningOptions options;
     options.min_support = min_support;
     options.backend = config.backend;
+    options.num_threads = config.num_threads;
     options.collect_counter_metrics = JsonOutputEnabled();
 
     MiningOptions pincer_options = options;

@@ -28,6 +28,10 @@ struct BenchConfig {
   bool scale_explicit = false;
   /// Counting backend for both algorithms.
   CounterBackend backend = CounterBackend::kTrie;
+  /// Counting worker threads for both algorithms (MiningOptions::num_threads:
+  /// 1 = serial, 0 = hardware concurrency). Results are identical for every
+  /// value; only the per-pass counting wall time changes.
+  size_t num_threads = 1;
   /// Skip the Apriori baseline (Pincer rows only).
   bool skip_apriori = false;
   /// Per-run Apriori wall-clock budget in ms (0 = unlimited). When Apriori
@@ -44,8 +48,8 @@ struct BenchConfig {
   std::string json_path;
 };
 
-/// Parses --scale=N, --backend=NAME, --skip-apriori, --budget=MS,
-/// --json=FILE flags. Unknown flags abort with a usage message.
+/// Parses --scale=N, --backend=NAME, --threads=N, --skip-apriori,
+/// --budget=MS, --json=FILE flags. Unknown flags abort with a usage message.
 BenchConfig ParseBenchArgs(int argc, char** argv);
 
 /// True once ParseBenchArgs has seen --json=FILE in this process.

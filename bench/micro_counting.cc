@@ -9,6 +9,7 @@
 #include "counting/counter_factory.h"
 #include "gen/quest_gen.h"
 #include "mining/miner.h"
+#include "util/thread_pool.h"
 
 namespace pincer {
 namespace {
@@ -60,6 +61,30 @@ BENCHMARK(BM_CountSupports)
     ->Arg(static_cast<int>(CounterBackend::kHashTree))
     ->Arg(static_cast<int>(CounterBackend::kTrie))
     ->Arg(static_cast<int>(CounterBackend::kVertical))
+    ->Unit(benchmark::kMillisecond);
+
+// Pooled scans: the same pass-3 batch on the trie backend with a shared
+// ThreadPool of N threads (N = 1 is the inline serial path — its delta vs
+// BM_CountSupports/kTrie is the pool-plumbing overhead, which should be
+// zero). Counts are bit-identical across N.
+void BM_CountSupportsPooled(benchmark::State& state) {
+  const auto num_threads = static_cast<size_t>(state.range(0));
+  ThreadPool pool(num_threads);
+  auto counter = CreateCounter(CounterBackend::kTrie, BenchDb(), &pool);
+  const std::vector<Itemset>& candidates = BenchCandidates();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counter->CountSupports(candidates));
+  }
+  state.SetLabel("trie, " + std::to_string(pool.num_threads()) +
+                 " thread(s), x" + std::to_string(candidates.size()) +
+                 " candidates");
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(BenchDb().size()));
+}
+BENCHMARK(BM_CountSupportsPooled)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 void BM_PassOneArray(benchmark::State& state) {

@@ -28,10 +28,11 @@ namespace {
 using namespace pincer;
 
 void Compare(const TransactionDatabase& db, const std::string& db_name,
-             double min_support, double time_budget_ms) {
+             double min_support, const bench::BenchConfig& config) {
   MiningOptions options;
   options.min_support = min_support;
-  options.time_budget_ms = time_budget_ms;
+  options.time_budget_ms = config.time_budget_ms;
+  options.num_threads = config.num_threads;
   options.collect_counter_metrics = bench::JsonOutputEnabled();
 
   TablePrinter table({"algorithm", "time_ms", "full_db_passes",
@@ -124,8 +125,7 @@ int main(int argc, char** argv) {
       std::cerr << db.status() << "\n";
       return 1;
     }
-    Compare(*db, params.Name(), avg_pattern_size <= 6 ? 0.15 : 0.10,
-            config.time_budget_ms);
+    Compare(*db, params.Name(), avg_pattern_size <= 6 ? 0.15 : 0.10, config);
   }
   std::cout << "\nShape to observe: Partition/Sampling cut *passes* but "
                "their candidate counts track Apriori's (every frequent "

@@ -5,6 +5,8 @@
 //     --min-support=0.01         fraction of |D| (default 0.01)
 //     --algorithm=pincer         apriori | pincer | pincer-adaptive
 //     --backend=trie             trie | hash_tree | linear | vertical
+//     --threads=1                counting worker threads (0 = all cores);
+//                                results are identical for every value
 //     --rules=<min_confidence>   also generate association rules
 //     --stats                    print per-pass statistics
 //     --stats-json=FILE          write run statistics as JSON (schema in
@@ -33,7 +35,7 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <database.basket> [--min-support=F] "
                "[--algorithm=apriori|pincer|pincer-adaptive] "
-               "[--backend=trie|hash_tree|linear|vertical] "
+               "[--backend=trie|hash_tree|linear|vertical] [--threads=N] "
                "[--rules=MIN_CONFIDENCE] [--stats] [--stats-json=FILE]\n";
   return 2;
 }
@@ -78,6 +80,13 @@ int main(int argc, char** argv) {
       }
       if (!found) {
         std::cerr << "unknown backend: " << name << "\n";
+        return 2;
+      }
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      char* end = nullptr;
+      options.num_threads = std::strtoul(arg.c_str() + 10, &end, 10);
+      if (end == arg.c_str() + 10 || *end != '\0') {
+        std::cerr << "--threads needs a number (0 = all cores)\n";
         return 2;
       }
     } else if (arg.rfind("--rules=", 0) == 0) {

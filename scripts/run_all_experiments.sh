@@ -51,6 +51,17 @@ validate_json "$RESULTS_DIR/ablation.json"
 run "$BUILD_DIR/bench/related_work" --scale="$SCALE" --budget="$BUDGET_MS" \
   --json="$RESULTS_DIR/related_work.json" | tee bench_related.txt
 validate_json "$RESULTS_DIR/related_work.json"
+# Thread-scaling: the same Figure-3 database mined with 1 and 4 counting
+# threads (Pincer only — the point is pooled counting wall time, not the
+# Apriori comparison). Counts and the MFS are identical across thread
+# counts; only the per-pass counting_ms / elapsed_ms change.
+for threads in 1 4; do
+  run "$BUILD_DIR/bench/fig3_scattered" --scale="$SCALE" --skip-apriori \
+    --threads="$threads" --budget="$BUDGET_MS" \
+    --json="$RESULTS_DIR/thread_scaling_t${threads}.json" \
+    | tee "bench_thread_scaling_t${threads}.txt"
+  validate_json "$RESULTS_DIR/thread_scaling_t${threads}.json"
+done
 run "$BUILD_DIR/bench/micro_counting" \
   --benchmark_out="$RESULTS_DIR/micro_counting.json" \
   --benchmark_out_format=json | tee bench_micro_counting.txt

@@ -9,6 +9,7 @@
 #include "itemset/itemset_ops.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace pincer {
@@ -43,7 +44,10 @@ FrequentSetResult AprioriMine(const TransactionDatabase& db,
   FrequentSetResult result;
   MiningStats& stats = result.stats;
   const uint64_t min_count = db.MinSupportCount(options.min_support);
-  auto counter = CreateCounter(options.backend, db);
+  // One pool per run, shared by the backend and the array fast paths.
+  ThreadPool pool(options.num_threads);
+  stats.num_threads = pool.num_threads();
+  auto counter = CreateCounter(options.backend, db, &pool);
   if (options.collect_counter_metrics) counter->set_metrics(&stats.counting);
 
   // ---- Pass 1: 1-itemsets.
@@ -57,7 +61,7 @@ FrequentSetResult AprioriMine(const TransactionDatabase& db,
     {
       ScopedMsTimer count_timer(pass.counting_ms);
       if (options.use_array_fast_path) {
-        counts = CountSingletons(db);
+        counts = CountSingletons(db, &pool);
       } else {
         std::vector<Itemset> singles;
         singles.reserve(db.num_items());
@@ -97,7 +101,7 @@ FrequentSetResult AprioriMine(const TransactionDatabase& db,
       PairCountMatrix matrix(frequent_items);
       {
         ScopedMsTimer count_timer(pass.counting_ms);
-        matrix.CountDatabase(db);
+        matrix.CountDatabase(db, &pool);
       }
       for (size_t i = 0; i < frequent_items.size(); ++i) {
         for (size_t j = i + 1; j < frequent_items.size(); ++j) {

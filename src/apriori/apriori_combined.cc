@@ -7,6 +7,7 @@
 #include "counting/counter_factory.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace pincer {
@@ -18,7 +19,10 @@ FrequentSetResult AprioriCombinedMine(const TransactionDatabase& db,
   FrequentSetResult result;
   MiningStats& stats = result.stats;
   const uint64_t min_count = db.MinSupportCount(options.min_support);
-  auto counter = CreateCounter(options.backend, db);
+  // One pool per run, shared by the backend and the array fast paths.
+  ThreadPool pool(options.num_threads);
+  stats.num_threads = pool.num_threads();
+  auto counter = CreateCounter(options.backend, db, &pool);
   if (options.collect_counter_metrics) counter->set_metrics(&stats.counting);
 
   // Passes 1 and 2 are identical to plain Apriori (array fast paths); reuse
@@ -32,7 +36,7 @@ FrequentSetResult AprioriCombinedMine(const TransactionDatabase& db,
     std::vector<uint64_t> counts;
     {
       ScopedMsTimer count_timer(pass.counting_ms);
-      counts = CountSingletons(db);
+      counts = CountSingletons(db, &pool);
     }
     for (ItemId item = 0; item < db.num_items(); ++item) {
       if (counts[item] >= min_count) {
@@ -57,7 +61,7 @@ FrequentSetResult AprioriCombinedMine(const TransactionDatabase& db,
     PairCountMatrix matrix(frequent_items);
     {
       ScopedMsTimer count_timer(pass.counting_ms);
-      matrix.CountDatabase(db);
+      matrix.CountDatabase(db, &pool);
     }
     for (size_t i = 0; i < frequent_items.size(); ++i) {
       for (size_t j = i + 1; j < frequent_items.size(); ++j) {

@@ -14,6 +14,7 @@
 #include "itemset/itemset_set.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace pincer {
@@ -37,11 +38,13 @@ class PincerDriver {
       : db_(db),
         options_(options),
         min_count_(db.MinSupportCount(options.min_support)),
-        counter_(CreateCounter(options.backend, db)),
+        pool_(std::make_unique<ThreadPool>(options.num_threads)),
+        counter_(CreateCounter(options.backend, db, pool_.get())),
         mfcs_(db.num_items()) {
     if (options_.collect_counter_metrics) {
       counter_->set_metrics(&stats_.counting);
     }
+    stats_.num_threads = pool_->num_threads();
   }
 
   MaximalSetResult Run();
@@ -127,6 +130,10 @@ class PincerDriver {
   const TransactionDatabase& db_;
   const MiningOptions& options_;
   const uint64_t min_count_;
+  // One worker pool per run, shared by the counting backend and the
+  // pass-1/2 array fast paths; reused across passes. Declared before
+  // counter_ so the pool outlives (and is ready for) the counter.
+  std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<SupportCounter> counter_;
 
   Mfcs mfcs_;
@@ -300,7 +307,7 @@ std::vector<Itemset> PincerDriver::PassOne() {
   {
     ScopedMsTimer timer(pass.counting_ms);
     if (options_.use_array_fast_path) {
-      singleton_counts_ = CountSingletons(db_);
+      singleton_counts_ = CountSingletons(db_, pool_.get());
     } else {
       std::vector<Itemset> singles;
       singles.reserve(db_.num_items());
@@ -401,7 +408,7 @@ std::vector<Itemset> PincerDriver::PassTwo(
     pair_matrix_.emplace(frequent_items);
     {
       ScopedMsTimer timer(pass.counting_ms);
-      pair_matrix_->CountDatabase(db_);
+      pair_matrix_->CountDatabase(db_, pool_.get());
     }
     {
       size_t num_frequent_pairs = 0;
@@ -438,6 +445,21 @@ std::vector<Itemset> PincerDriver::PassTwo(
     {
       ScopedMsTimer timer(pass.counting_ms);
       counts = counter_->CountSupports(pairs);
+    }
+    // Same §3.5 pre-check as the array path: classify the raw counts first
+    // so a huge infrequent batch disables MFCS maintenance *before*
+    // classify_pair materializes one Itemset per infrequent pair.
+    {
+      size_t num_frequent_pairs = 0;
+      size_t num_infrequent_pairs = 0;
+      for (uint64_t count : counts) {
+        if (IsFrequentCount(count)) {
+          ++num_frequent_pairs;
+        } else {
+          ++num_infrequent_pairs;
+        }
+      }
+      precheck_batch(num_frequent_pairs, num_infrequent_pairs);
     }
     for (size_t i = 0; i < pairs.size(); ++i) {
       classify_pair(pairs[i][0], pairs[i][1], counts[i], /*cache_count=*/true);
@@ -553,7 +575,8 @@ MaximalSetResult PincerDriver::Run() {
   size_t k = 3;
   // Generalized termination (DESIGN.md item 3): continue while there are
   // bottom-up candidates or live MFCS elements to classify.
-  const size_t max_passes = db_.num_items() + 2;
+  const size_t max_passes =
+      options_.max_passes > 0 ? options_.max_passes : db_.num_items() + 2;
   while (k <= max_passes) {
     // With a live MFCS, generation is join + recovery + new prune; after
     // the adaptive switch-off it is plain Apriori-gen over the complete L_k.
@@ -574,6 +597,17 @@ MaximalSetResult PincerDriver::Run() {
     }
     lk = PassK(k, candidates, gen_ms);
     ++k;
+  }
+  // Leaving the loop at the pass cap with live MFCS elements means those
+  // elements were never classified: the run is truncated, and must say so —
+  // otherwise the stats JSON cannot distinguish it from a complete run.
+  if (k > max_passes && maintain_mfcs_ && !mfcs_.empty()) {
+    stats_.aborted = true;
+    if (options_.verbose) {
+      PINCER_LOG(kInfo) << "pincer: pass cap " << max_passes << " reached with "
+                        << mfcs_.size()
+                        << " unclassified MFCS element(s); result truncated";
+    }
   }
 
   // Final maximality merge: in the pure algorithm this is a no-op (the MFS

@@ -2,13 +2,22 @@
 
 #include <cassert>
 
+#include "counting/chunked_scan.h"
+
 namespace pincer {
 
-std::vector<uint64_t> CountSingletons(const TransactionDatabase& db) {
+std::vector<uint64_t> CountSingletons(const TransactionDatabase& db,
+                                      ThreadPool* pool) {
   std::vector<uint64_t> counts(db.num_items(), 0);
-  for (const Transaction& transaction : db.transactions()) {
-    for (ItemId item : transaction) ++counts[item];
-  }
+  ChunkedCountScan(pool, db.size(), counts,
+                   [&db](size_t /*chunk*/, size_t begin, size_t end,
+                         std::vector<uint64_t>& partial) {
+                     for (size_t tid = begin; tid < end; ++tid) {
+                       for (ItemId item : db.transaction(tid)) {
+                         ++partial[item];
+                       }
+                     }
+                   });
   return counts;
 }
 
@@ -33,23 +42,29 @@ size_t PairCountMatrix::TriIndex(size_t r1, size_t r2) const {
   return r1 * (n - 1) - r1 * (r1 - 1) / 2 + (r2 - r1 - 1);
 }
 
-void PairCountMatrix::CountDatabase(const TransactionDatabase& db) {
-  std::vector<size_t> ranks;
-  for (const Transaction& transaction : db.transactions()) {
-    ranks.clear();
-    for (ItemId item : transaction) {
-      if (item < rank_of_.size() && rank_of_[item] != SIZE_MAX) {
-        ranks.push_back(rank_of_[item]);
-      }
-    }
-    // Transaction items are sorted by id; ranks are sorted too because the
-    // rank mapping is monotone in item id.
-    for (size_t i = 0; i < ranks.size(); ++i) {
-      for (size_t j = i + 1; j < ranks.size(); ++j) {
-        ++counts_[TriIndex(ranks[i], ranks[j])];
-      }
-    }
-  }
+void PairCountMatrix::CountDatabase(const TransactionDatabase& db,
+                                    ThreadPool* pool) {
+  ChunkedCountScan(
+      pool, db.size(), counts_,
+      [&](size_t /*chunk*/, size_t begin, size_t end,
+          std::vector<uint64_t>& partial) {
+        std::vector<size_t> ranks;
+        for (size_t tid = begin; tid < end; ++tid) {
+          ranks.clear();
+          for (ItemId item : db.transaction(tid)) {
+            if (item < rank_of_.size() && rank_of_[item] != SIZE_MAX) {
+              ranks.push_back(rank_of_[item]);
+            }
+          }
+          // Transaction items are sorted by id; ranks are sorted too because
+          // the rank mapping is monotone in item id.
+          for (size_t i = 0; i < ranks.size(); ++i) {
+            for (size_t j = i + 1; j < ranks.size(); ++j) {
+              ++partial[TriIndex(ranks[i], ranks[j])];
+            }
+          }
+        }
+      });
 }
 
 std::optional<uint64_t> PairCountMatrix::TryPairCount(ItemId a, ItemId b) const {

@@ -12,12 +12,16 @@
 
 #include "data/database.h"
 #include "itemset/item.h"
+#include "util/thread_pool.h"
 
 namespace pincer {
 
 /// Counts the support of every item id in one scan (pass 1). Result is
-/// indexed by item id.
-std::vector<uint64_t> CountSingletons(const TransactionDatabase& db);
+/// indexed by item id. With a pool, the scan is split into per-worker
+/// chunks whose private count arrays are merged in worker order — counts
+/// are bit-identical to the serial scan. Null pool = serial.
+std::vector<uint64_t> CountSingletons(const TransactionDatabase& db,
+                                      ThreadPool* pool = nullptr);
 
 /// Triangular pair-count matrix over a set of frequent items (pass 2). Item
 /// ids are first remapped to dense ranks; only pairs of frequent items are
@@ -28,8 +32,11 @@ class PairCountMatrix {
   explicit PairCountMatrix(std::vector<ItemId> frequent_items);
 
   /// One scan over the database, counting every frequent-item pair inside
-  /// each transaction.
-  void CountDatabase(const TransactionDatabase& db);
+  /// each transaction. With a pool, transaction chunks are counted into
+  /// per-worker triangular arrays merged in worker order (each worker's
+  /// array is the size of counts_, so memory scales with the pool size);
+  /// counts are bit-identical to the serial scan. Null pool = serial.
+  void CountDatabase(const TransactionDatabase& db, ThreadPool* pool = nullptr);
 
   /// Support count of the pair {a, b}. Both must be frequent items given at
   /// construction; a != b.

@@ -1,0 +1,67 @@
+// Shared chunked-scan driver for the transaction-scanning counting paths:
+// partitions the row range into one contiguous chunk per pool thread, runs a
+// read-only scan per chunk into a private partial-count vector, and merges
+// the partials in fixed worker order. Counts are exact integer sums, so the
+// result is bit-identical to the serial scan regardless of scheduling.
+
+#ifndef PINCER_COUNTING_CHUNKED_SCAN_H_
+#define PINCER_COUNTING_CHUNKED_SCAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace pincer {
+
+/// Rows per worker below which chunking is not worth the partial-vector
+/// setup; tiny databases run serially whatever the pool size.
+inline constexpr size_t kMinRowsPerScanWorker = 64;
+
+/// Number of scan chunks a pool yields for `num_rows` rows: the pool's
+/// thread count, capped so every chunk has at least kMinRowsPerScanWorker
+/// rows. A null pool means 1 (serial).
+inline size_t ScanChunks(const ThreadPool* pool, size_t num_rows) {
+  if (pool == nullptr) return 1;
+  const size_t by_rows = num_rows / kMinRowsPerScanWorker;
+  const size_t chunks = pool->num_threads() < by_rows ? pool->num_threads()
+                                                      : by_rows;
+  return chunks < 1 ? 1 : chunks;
+}
+
+/// Runs `scan(chunk, begin, end, partial)` over a partition of
+/// [0, num_rows) and accumulates every partial into `counts` (element-wise
+/// add, chunk 0 first). The serial case (one chunk) scans directly into
+/// `counts` with no copy. `scan` must only read shared state and write its
+/// own `partial`, which arrives zero-initialized at counts.size().
+inline void ChunkedCountScan(
+    ThreadPool* pool, size_t num_rows, std::vector<uint64_t>& counts,
+    const std::function<void(size_t chunk, size_t begin, size_t end,
+                             std::vector<uint64_t>& partial)>& scan) {
+  if (num_rows == 0) return;
+  const size_t chunks = ScanChunks(pool, num_rows);
+  if (chunks <= 1) {
+    scan(0, 0, num_rows, counts);
+    return;
+  }
+  std::vector<std::vector<uint64_t>> partials(
+      chunks, std::vector<uint64_t>(counts.size(), 0));
+  const size_t rows_per_chunk = (num_rows + chunks - 1) / chunks;
+  pool->RunBatch(chunks, [&](size_t chunk) {
+    const size_t begin = chunk * rows_per_chunk;
+    const size_t end = begin + rows_per_chunk < num_rows
+                           ? begin + rows_per_chunk
+                           : num_rows;
+    scan(chunk, begin, end, partials[chunk]);
+  });
+  for (size_t chunk = 0; chunk < chunks; ++chunk) {
+    const std::vector<uint64_t>& partial = partials[chunk];
+    for (size_t i = 0; i < counts.size(); ++i) counts[i] += partial[i];
+  }
+}
+
+}  // namespace pincer
+
+#endif  // PINCER_COUNTING_CHUNKED_SCAN_H_

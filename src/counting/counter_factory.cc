@@ -26,19 +26,32 @@ std::string_view CounterBackendName(CounterBackend backend) {
 
 std::unique_ptr<SupportCounter> CreateCounter(CounterBackend backend,
                                               const TransactionDatabase& db) {
+  return CreateCounter(backend, db, /*pool=*/nullptr);
+}
+
+std::unique_ptr<SupportCounter> CreateCounter(CounterBackend backend,
+                                              const TransactionDatabase& db,
+                                              ThreadPool* pool) {
+  std::unique_ptr<SupportCounter> counter;
   switch (backend) {
     case CounterBackend::kLinear:
-      return std::make_unique<LinearCounter>(db);
+      counter = std::make_unique<LinearCounter>(db);
+      break;
     case CounterBackend::kHashTree:
-      return std::make_unique<HashTreeCounter>(db);
+      counter = std::make_unique<HashTreeCounter>(db);
+      break;
     case CounterBackend::kTrie:
-      return std::make_unique<TrieCounter>(db);
+      counter = std::make_unique<TrieCounter>(db);
+      break;
     case CounterBackend::kVertical:
-      return std::make_unique<VerticalCounter>(db);
+      counter = std::make_unique<VerticalCounter>(db);
+      break;
     case CounterBackend::kParallel:
-      return std::make_unique<ParallelCounter>(db);
+      counter = std::make_unique<ParallelCounter>(db);
+      break;
   }
-  return nullptr;
+  if (counter != nullptr) counter->set_thread_pool(pool);
+  return counter;
 }
 
 std::vector<CounterBackend> AllCounterBackends() {

@@ -7,13 +7,25 @@
 
 #include "counting/support_counter.h"
 #include "data/database.h"
+#include "util/thread_pool.h"
 
 namespace pincer {
 
 /// Creates a counter of the requested backend bound to `db`. The database
-/// must outlive the returned counter.
+/// must outlive the returned counter. Without a pool, the scanning backends
+/// run serially — except kParallel, which keeps its historical default of a
+/// private hardware-concurrency pool.
 std::unique_ptr<SupportCounter> CreateCounter(CounterBackend backend,
                                               const TransactionDatabase& db);
+
+/// As above, but attaches `pool` (may be null; must outlive the counter) so
+/// every transaction-scanning backend — including kParallel — splits its
+/// scans across the pool's workers. This is how MiningOptions::num_threads
+/// reaches the backends: the mining drivers own one pool per run and hand
+/// it to the counter they create.
+std::unique_ptr<SupportCounter> CreateCounter(CounterBackend backend,
+                                              const TransactionDatabase& db,
+                                              ThreadPool* pool);
 
 /// All available backends, for parameterized tests.
 std::vector<CounterBackend> AllCounterBackends();

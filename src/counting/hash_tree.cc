@@ -4,16 +4,24 @@
 #include <cassert>
 #include <map>
 
+#include "counting/chunked_scan.h"
+
 namespace pincer {
 
 HashTree::HashTree(size_t candidate_size, size_t fanout, size_t leaf_capacity)
     : candidate_size_(candidate_size),
       fanout_(fanout),
-      leaf_capacity_(leaf_capacity),
-      root_(std::make_unique<Node>()) {
+      leaf_capacity_(leaf_capacity) {
   assert(candidate_size_ > 0);
   assert(fanout_ > 1);
   assert(leaf_capacity_ > 0);
+  root_ = NewLeaf();
+}
+
+std::unique_ptr<HashTree::Node> HashTree::NewLeaf() {
+  auto node = std::make_unique<Node>();
+  node->leaf_id = num_leaf_ids_++;
+  return node;
 }
 
 void HashTree::Insert(const Itemset& candidate, size_t external_index) {
@@ -26,7 +34,7 @@ void HashTree::InsertInto(Node* node, size_t depth, const Itemset& candidate,
   while (!node->is_leaf) {
     const size_t slot = Hash(candidate[depth]);
     if (!node->children[slot]) {
-      node->children[slot] = std::make_unique<Node>();
+      node->children[slot] = NewLeaf();
     }
     node = node->children[slot].get();
     ++depth;
@@ -48,7 +56,7 @@ void HashTree::SplitLeaf(Node* node, size_t depth) {
   for (auto& [candidate, index] : entries) {
     const size_t slot = Hash(candidate[depth]);
     if (!node->children[slot]) {
-      node->children[slot] = std::make_unique<Node>();
+      node->children[slot] = NewLeaf();
     }
     // Children start as leaves; recursive splitting happens via InsertInto's
     // capacity check when re-inserting.
@@ -57,21 +65,24 @@ void HashTree::SplitLeaf(Node* node, size_t depth) {
 }
 
 void HashTree::CountTransaction(const Transaction& transaction,
-                                std::vector<uint64_t>& counts) {
+                                std::vector<uint64_t>& counts,
+                                VisitState& state) const {
   if (transaction.size() < candidate_size_) return;
-  ++current_visit_;
-  CountNode(root_.get(), transaction, 0, 0, counts);
+  if (state.stamps.size() < num_leaf_ids_) state.stamps.resize(num_leaf_ids_, 0);
+  ++state.current_visit;
+  CountNode(root_.get(), transaction, 0, 0, counts, state);
 }
 
-void HashTree::CountNode(Node* node, const Transaction& transaction,
+void HashTree::CountNode(const Node* node, const Transaction& transaction,
                          size_t start, size_t depth,
-                         std::vector<uint64_t>& counts) {
+                         std::vector<uint64_t>& counts,
+                         VisitState& state) const {
   if (node->is_leaf) {
     // Several hash paths can reach the same leaf for one transaction;
     // evaluate it only once (containment is checked against the whole
     // transaction, so the first visit already counts everything).
-    if (node->visit_stamp == current_visit_) return;
-    node->visit_stamp = current_visit_;
+    if (state.stamps[node->leaf_id] == state.current_visit) return;
+    state.stamps[node->leaf_id] = state.current_visit;
     for (const auto& [candidate, index] : node->entries) {
       // The first `depth` items are implied by the path; verify full
       // containment with a two-pointer walk (both sequences sorted).
@@ -95,9 +106,9 @@ void HashTree::CountNode(Node* node, const Transaction& transaction,
   if (transaction.size() < start + remaining_needed) return;
   const size_t last = transaction.size() - remaining_needed;
   for (size_t i = start; i <= last; ++i) {
-    Node* child = node->children[Hash(transaction[i])].get();
+    const Node* child = node->children[Hash(transaction[i])].get();
     if (child != nullptr) {
-      CountNode(child, transaction, i + 1, depth + 1, counts);
+      CountNode(child, transaction, i + 1, depth + 1, counts, state);
     }
   }
 }
@@ -132,19 +143,38 @@ std::vector<uint64_t> HashTreeCounter::CountSupports(
     it->second.Insert(candidates[i], i);
   }
 
+  size_t num_nonempty = 0;
+  for (const Itemset& candidate : candidates) {
+    if (!candidate.empty()) ++num_nonempty;
+  }
   if (metrics_ != nullptr) {
     ++metrics_->count_calls;
-    metrics_->candidates_counted += candidates.size();
+    metrics_->candidates_counted += num_nonempty;
     if (!trees.empty()) metrics_->transactions_scanned += db_.size();
     for (const auto& [size, tree] : trees) {
       metrics_->structure_nodes += tree.NumNodes();
     }
   }
-  for (const Transaction& transaction : db_.transactions()) {
-    for (auto& [size, tree] : trees) {
-      tree.CountTransaction(transaction, counts);
-    }
-  }
+  if (trees.empty()) return counts;
+
+  // One immutable tree per length, shared by all workers; the per-leaf
+  // visit stamps live in per-(chunk, tree) VisitStates, so the chunked walk
+  // is read-only on the trees.
+  std::vector<const HashTree*> tree_list;
+  tree_list.reserve(trees.size());
+  for (const auto& [size, tree] : trees) tree_list.push_back(&tree);
+  ChunkedCountScan(
+      pool_, db_.size(), counts,
+      [&](size_t /*chunk*/, size_t begin, size_t end,
+          std::vector<uint64_t>& partial) {
+        std::vector<HashTree::VisitState> states(tree_list.size());
+        for (size_t tid = begin; tid < end; ++tid) {
+          const Transaction& transaction = db_.transaction(tid);
+          for (size_t t = 0; t < tree_list.size(); ++t) {
+            tree_list[t]->CountTransaction(transaction, partial, states[t]);
+          }
+        }
+      });
   return counts;
 }
 

@@ -34,12 +34,30 @@ class HashTree {
   /// count. The candidate's size must equal candidate_size.
   void Insert(const Itemset& candidate, size_t external_index);
 
+  /// Per-caller dedup state for the counting walk: a leaf reachable through
+  /// several hash paths must be evaluated only once per transaction, and
+  /// the stamps recording that live outside the tree so concurrent walkers
+  /// (one VisitState per worker) can share one immutable tree.
+  struct VisitState {
+    uint64_t current_visit = 0;
+    // Indexed by leaf id; stamps[id] == current_visit means "already
+    // evaluated for this transaction". Sized lazily by CountTransaction.
+    std::vector<uint64_t> stamps;
+  };
+
   /// For every registered candidate contained in `transaction`, increments
   /// counts[external_index] exactly once. `transaction` must be sorted.
-  /// Non-const: leaves carry a per-call visit stamp so that a leaf reachable
-  /// through several hash paths is evaluated only once per transaction.
+  /// Read-only on the tree; the per-transaction leaf dedup lives in
+  /// `state`, which must not be shared between concurrent callers.
   void CountTransaction(const Transaction& transaction,
-                        std::vector<uint64_t>& counts);
+                        std::vector<uint64_t>& counts,
+                        VisitState& state) const;
+
+  /// Single-threaded convenience overload using an internal VisitState.
+  void CountTransaction(const Transaction& transaction,
+                        std::vector<uint64_t>& counts) {
+    CountTransaction(transaction, counts, default_visit_);
+  }
 
   size_t candidate_size() const { return candidate_size_; }
 
@@ -50,29 +68,32 @@ class HashTree {
  private:
   struct Node {
     bool is_leaf = true;
+    // Dedup-stamp slot in VisitState::stamps (valid while is_leaf).
+    size_t leaf_id = 0;
     // Leaf payload: (candidate, external index) pairs.
     std::vector<std::pair<Itemset, size_t>> entries;
     // Interior payload: children indexed by item hash; null slots allowed.
     std::vector<std::unique_ptr<Node>> children;
-    // Last CountTransaction call that evaluated this leaf (dedup guard).
-    uint64_t visit_stamp = 0;
   };
 
   size_t Hash(ItemId item) const { return item % fanout_; }
 
+  std::unique_ptr<Node> NewLeaf();
   void InsertInto(Node* node, size_t depth, const Itemset& candidate,
                   size_t external_index);
   void SplitLeaf(Node* node, size_t depth);
-  void CountNode(Node* node, const Transaction& transaction, size_t start,
-                 size_t depth, std::vector<uint64_t>& counts);
+  void CountNode(const Node* node, const Transaction& transaction,
+                 size_t start, size_t depth, std::vector<uint64_t>& counts,
+                 VisitState& state) const;
 
   size_t candidate_size_;
   size_t fanout_;
   size_t leaf_capacity_;
   std::unique_ptr<Node> root_;
-  // Incremented once per CountTransaction call; compared against leaf
-  // visit stamps.
-  uint64_t current_visit_ = 0;
+  // Leaf ids handed out so far (split leaves retire theirs; the gap in the
+  // stamp vector is harmless).
+  size_t num_leaf_ids_ = 0;
+  VisitState default_visit_;
 };
 
 /// SupportCounter backed by hash trees, one per candidate length (the

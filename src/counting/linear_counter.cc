@@ -1,5 +1,7 @@
 #include "counting/linear_counter.h"
 
+#include "counting/chunked_scan.h"
+
 namespace pincer {
 
 LinearCounter::LinearCounter(const TransactionDatabase& db) : db_(db) {
@@ -9,27 +11,47 @@ LinearCounter::LinearCounter(const TransactionDatabase& db) : db_(db) {
 std::vector<uint64_t> LinearCounter::CountSupports(
     const std::vector<Itemset>& candidates) {
   std::vector<uint64_t> counts(candidates.size(), 0);
-  if (metrics_ != nullptr) {
-    ++metrics_->count_calls;
-    metrics_->candidates_counted += candidates.size();
-    metrics_->transactions_scanned += db_.size();
-  }
-  for (size_t tid = 0; tid < db_.size(); ++tid) {
-    const DynamicBitset& bits = db_.transaction_bits(tid);
-    const size_t transaction_size = db_.transaction(tid).size();
-    for (size_t c = 0; c < candidates.size(); ++c) {
-      const Itemset& candidate = candidates[c];
-      if (candidate.size() > transaction_size) continue;
-      bool contained = true;
-      for (ItemId item : candidate) {
-        if (!bits.Test(item)) {
-          contained = false;
-          break;
-        }
-      }
-      if (contained) ++counts[c];
+  // Empty candidates are universally supported; answering them up front
+  // keeps the scan loop branch-free and the metrics convention uniform
+  // across backends (candidates_counted = non-empty candidates only).
+  size_t num_nonempty = 0;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    if (candidates[c].empty()) {
+      counts[c] = db_.size();
+    } else {
+      ++num_nonempty;
     }
   }
+  if (metrics_ != nullptr) {
+    ++metrics_->count_calls;
+    metrics_->candidates_counted += num_nonempty;
+    if (num_nonempty > 0) metrics_->transactions_scanned += db_.size();
+  }
+  if (num_nonempty == 0) return counts;
+
+  ChunkedCountScan(
+      pool_, db_.size(), counts,
+      [&](size_t /*chunk*/, size_t begin, size_t end,
+          std::vector<uint64_t>& partial) {
+        for (size_t tid = begin; tid < end; ++tid) {
+          const DynamicBitset& bits = db_.transaction_bits(tid);
+          const size_t transaction_size = db_.transaction(tid).size();
+          for (size_t c = 0; c < candidates.size(); ++c) {
+            const Itemset& candidate = candidates[c];
+            if (candidate.empty() || candidate.size() > transaction_size) {
+              continue;
+            }
+            bool contained = true;
+            for (ItemId item : candidate) {
+              if (!bits.Test(item)) {
+                contained = false;
+                break;
+              }
+            }
+            if (contained) ++partial[c];
+          }
+        }
+      });
   return counts;
 }
 

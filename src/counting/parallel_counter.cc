@@ -1,18 +1,20 @@
 #include "counting/parallel_counter.h"
 
-#include <algorithm>
-#include <thread>
-
 #include "counting/candidate_trie.h"
+#include "counting/chunked_scan.h"
 
 namespace pincer {
 
 ParallelCounter::ParallelCounter(const TransactionDatabase& db,
                                  size_t num_threads)
-    : db_(db), num_threads_(num_threads) {
-  if (num_threads_ == 0) {
-    num_threads_ = std::max<size_t>(std::thread::hardware_concurrency(), 1);
+    : db_(db), num_threads_(num_threads) {}
+
+ThreadPool* ParallelCounter::scan_pool() {
+  if (pool_ != nullptr) return pool_;
+  if (owned_pool_ == nullptr) {
+    owned_pool_ = std::make_unique<ThreadPool>(num_threads_);
   }
+  return owned_pool_.get();
 }
 
 std::vector<uint64_t> ParallelCounter::CountSupports(
@@ -31,41 +33,21 @@ std::vector<uint64_t> ParallelCounter::CountSupports(
   }
   if (metrics_ != nullptr) {
     ++metrics_->count_calls;
-    metrics_->candidates_counted += candidates.size();
+    // Empty candidates are answered from |D| without touching the trie and
+    // are excluded here — same convention as every serial backend.
+    metrics_->candidates_counted += num_nonempty;
     metrics_->structure_nodes += trie.NumNodes();
     if (num_nonempty > 0) metrics_->transactions_scanned += db_.size();
   }
   if (num_nonempty == 0 || db_.empty()) return counts;
 
-  const size_t workers =
-      std::min(num_threads_, std::max<size_t>(db_.size() / 64, 1));
-  if (workers <= 1) {
-    for (const Transaction& transaction : db_.transactions()) {
-      trie.CountTransaction(transaction, counts);
-    }
-    return counts;
-  }
-
-  std::vector<std::vector<uint64_t>> partial(
-      workers, std::vector<uint64_t>(candidates.size(), 0));
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  const size_t chunk = (db_.size() + workers - 1) / workers;
-  for (size_t w = 0; w < workers; ++w) {
-    threads.emplace_back([&, w] {
-      const size_t begin = w * chunk;
-      const size_t end = std::min(begin + chunk, db_.size());
-      std::vector<uint64_t>& local = partial[w];
-      for (size_t i = begin; i < end; ++i) {
-        trie.CountTransaction(db_.transaction(i), local);
-      }
-    });
-  }
-  for (std::thread& thread : threads) thread.join();
-
-  for (const std::vector<uint64_t>& local : partial) {
-    for (size_t i = 0; i < counts.size(); ++i) counts[i] += local[i];
-  }
+  ChunkedCountScan(scan_pool(), db_.size(), counts,
+                   [&](size_t /*chunk*/, size_t begin, size_t end,
+                       std::vector<uint64_t>& partial) {
+                     for (size_t tid = begin; tid < end; ++tid) {
+                       trie.CountTransaction(db_.transaction(tid), partial);
+                     }
+                   });
   return counts;
 }
 

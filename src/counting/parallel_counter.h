@@ -1,6 +1,6 @@
 // Parallel trie counting: transactions are partitioned across worker
 // threads, each walking the shared candidate trie into a private count
-// array; partial counts are summed at the end. Support counting is the
+// array; partial counts are summed in worker order. Support counting is the
 // embarrassingly parallel core of the parallel association-mining work the
 // paper cites in §5 ([4], [9], [16]).
 
@@ -8,18 +8,24 @@
 #define PINCER_COUNTING_PARALLEL_COUNTER_H_
 
 #include <cstddef>
+#include <memory>
 
 #include "counting/support_counter.h"
+#include "util/thread_pool.h"
 
 namespace pincer {
 
 /// SupportCounter that behaves exactly like TrieCounter but distributes the
-/// transaction scan over a fixed number of threads. Deterministic: counts
-/// are exact sums, independent of scheduling.
+/// transaction scan over a thread pool. Deterministic: counts are exact
+/// sums merged in worker order, independent of scheduling. The workers come
+/// from the shared pool attached via set_thread_pool() when there is one
+/// (the factory path — one pool per mining run, reused across passes);
+/// otherwise the counter lazily creates its own pool of `num_threads`
+/// workers (0 = hardware concurrency) and reuses it across calls.
 class ParallelCounter : public SupportCounter {
  public:
-  /// Binds to `db` (must outlive the counter) and a thread count
-  /// (0 = hardware concurrency, at least 1).
+  /// Binds to `db` (must outlive the counter) and a fallback thread count
+  /// used only when no shared pool is attached.
   explicit ParallelCounter(const TransactionDatabase& db,
                            size_t num_threads = 0);
 
@@ -28,11 +34,19 @@ class ParallelCounter : public SupportCounter {
 
   CounterBackend backend() const override { return CounterBackend::kParallel; }
 
-  size_t num_threads() const { return num_threads_; }
+  /// Threads a scan would use right now: the attached pool's count, or the
+  /// resolved fallback.
+  size_t num_threads() const {
+    return pool_ != nullptr ? pool_->num_threads()
+                            : ThreadPool::ResolveThreadCount(num_threads_);
+  }
 
  private:
+  ThreadPool* scan_pool();
+
   const TransactionDatabase& db_;
   size_t num_threads_;
+  std::unique_ptr<ThreadPool> owned_pool_;
 };
 
 }  // namespace pincer

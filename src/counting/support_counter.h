@@ -12,6 +12,7 @@
 #include "data/database.h"
 #include "itemset/itemset.h"
 #include "util/metrics.h"
+#include "util/thread_pool.h"
 
 namespace pincer {
 
@@ -55,8 +56,17 @@ class SupportCounter {
   /// hook adds no measurable counting overhead (see EXPERIMENTS.md).
   void set_metrics(CountingMetrics* metrics) { metrics_ = metrics; }
 
+  /// Attaches a shared worker pool (must outlive the counter's use): the
+  /// transaction-scanning backends then split each scan into per-worker
+  /// chunks with privately accumulated counts, merged in worker order —
+  /// counts stay bit-identical to the serial scan. Null (the default) or a
+  /// single-thread pool keeps the scan serial; backends that never scan
+  /// rows (vertical) ignore the pool.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+
  protected:
   CountingMetrics* metrics_ = nullptr;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace pincer

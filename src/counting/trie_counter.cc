@@ -1,5 +1,7 @@
 #include "counting/trie_counter.h"
 
+#include "counting/chunked_scan.h"
+
 namespace pincer {
 
 TrieCounter::TrieCounter(const TransactionDatabase& db) : db_(db) {}
@@ -20,15 +22,20 @@ std::vector<uint64_t> TrieCounter::CountSupports(
   }
   if (metrics_ != nullptr) {
     ++metrics_->count_calls;
-    metrics_->candidates_counted += candidates.size();
+    metrics_->candidates_counted += num_nonempty;
     metrics_->structure_nodes += trie.NumNodes();
     if (num_nonempty > 0) metrics_->transactions_scanned += db_.size();
   }
   if (num_nonempty == 0) return counts;
 
-  for (const Transaction& transaction : db_.transactions()) {
-    trie.CountTransaction(transaction, counts);
-  }
+  // The counting walk only reads the trie, so every chunk shares it.
+  ChunkedCountScan(pool_, db_.size(), counts,
+                   [&](size_t /*chunk*/, size_t begin, size_t end,
+                       std::vector<uint64_t>& partial) {
+                     for (size_t tid = begin; tid < end; ++tid) {
+                       trie.CountTransaction(db_.transaction(tid), partial);
+                     }
+                   });
   return counts;
 }
 

@@ -10,8 +10,12 @@ std::vector<uint64_t> VerticalCounter::CountSupports(
   if (metrics_ != nullptr) {
     // The vertical backend reads per-item bitmaps, not database rows;
     // transactions_scanned stays 0 by design (see CountingMetrics docs).
+    // Empty candidates are answered as |D| without bitmap work and are
+    // excluded from candidates_counted — same convention as all backends.
     ++metrics_->count_calls;
-    metrics_->candidates_counted += candidates.size();
+    for (const Itemset& candidate : candidates) {
+      if (!candidate.empty()) ++metrics_->candidates_counted;
+    }
   }
   std::vector<uint64_t> counts(candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {

@@ -5,6 +5,7 @@
 
 #include "counting/counter_factory.h"
 #include "itemset/itemset_set.h"
+#include "util/thread_pool.h"
 
 namespace pincer {
 
@@ -86,7 +87,8 @@ std::vector<FrequentItemset> ExpandToFrequentSet(
     }
   }
   // One batch count over the database.
-  auto counter = CreateCounter(options.backend, db);
+  ThreadPool pool(options.num_threads);
+  auto counter = CreateCounter(options.backend, db, &pool);
   const std::vector<uint64_t> counts = counter->CountSupports(subsets);
 
   std::vector<FrequentItemset> frequent;

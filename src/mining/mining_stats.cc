@@ -13,7 +13,8 @@ std::string MiningStats::ToString() const {
      << "\n"
      << "total candidates (all passes): " << total_candidates << "\n"
      << "MFCS candidates: " << mfcs_candidates << "\n"
-     << "elapsed: " << elapsed_millis << " ms\n";
+     << "elapsed: " << elapsed_millis << " ms\n"
+     << "counting threads: " << num_threads << "\n";
   if (mfcs_disabled) {
     os << "MFCS maintenance abandoned at pass " << mfcs_disabled_at_pass
        << " (adaptive policy)\n";
@@ -49,6 +50,7 @@ void MiningStats::ToJson(JsonWriter& json) const {
   json.KeyValue("total_candidates", total_candidates);
   json.KeyValue("mfcs_candidates", mfcs_candidates);
   json.KeyValue("elapsed_ms", elapsed_millis);
+  json.KeyValue("num_threads", static_cast<uint64_t>(num_threads));
   json.KeyValue("aborted", aborted);
   json.KeyValue("mfcs_disabled", mfcs_disabled);
   json.KeyValue("mfcs_disabled_at_pass",

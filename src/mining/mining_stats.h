@@ -80,6 +80,10 @@ struct MiningStats {
   uint64_t mfcs_candidates = 0;
   /// Wall-clock mining time.
   double elapsed_millis = 0.0;
+  /// Worker threads the run's counting scans used (the resolved value of
+  /// MiningOptions::num_threads; 1 = serial). Counts are identical for
+  /// every value — this records the concurrency, not the result.
+  size_t num_threads = 1;
   /// True if the run stopped early because options.time_budget_ms was
   /// exceeded; the result is then incomplete.
   bool aborted = false;

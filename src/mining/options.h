@@ -24,6 +24,19 @@ struct MiningOptions {
   /// identical either way.
   bool use_array_fast_path = true;
 
+  /// Worker threads for support counting: every database scan (the generic
+  /// backends and the pass-1/2 array fast paths) is split into per-worker
+  /// transaction chunks whose partial counts are merged in worker order, so
+  /// counts and the mined result are bit-identical for every value.
+  /// 1 (default) = serial; 0 = hardware concurrency; N = exactly N threads.
+  /// The pool is created once per mining run and reused across passes.
+  size_t num_threads = 1;
+
+  /// Cap on the number of database passes (0 = automatic: |items| + 2, a
+  /// bound the algorithms cannot exceed on well-formed inputs). A run
+  /// truncated by the cap reports stats.aborted = true.
+  size_t max_passes = 0;
+
   /// Pincer only: adaptive MFCS cap (§3.5). If an MFCS update would grow the
   /// set beyond this many elements, MFCS maintenance is abandoned for the
   /// rest of the run (the adaptive variant the paper evaluates). 0 means

@@ -1,0 +1,89 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace pincer {
+
+size_t ThreadPool::ResolveThreadCount(size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<size_t>(std::thread::hardware_concurrency(), 1);
+}
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(ResolveThreadCount(num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::RunBatch(size_t num_tasks,
+                          const std::function<void(size_t)>& task) {
+  if (num_tasks == 0) return;
+  if (workers_.empty() || num_tasks == 1) {
+    for (size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+
+  // Completion state lives on the caller's stack: RunBatch does not return
+  // until every job ran, so the references the jobs hold stay valid.
+  struct BatchState {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t pending;
+  } state;
+  state.pending = num_tasks;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < num_tasks; ++i) {
+      queue_.push_back([&task, &state, i] {
+        task(i);
+        std::lock_guard<std::mutex> state_lock(state.mu);
+        if (--state.pending == 0) state.done_cv.notify_one();
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  // The caller drains jobs too. The owner-thread contract guarantees the
+  // queue holds only this batch, so nothing foreign is executed here.
+  while (true) {
+    std::function<void()> job;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) break;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done_cv.wait(lock, [&state] { return state.pending == 0; });
+}
+
+}  // namespace pincer

@@ -1,0 +1,67 @@
+// Fixed-size worker pool for data-parallel scans. Workers are spawned once
+// and reused across batches, so per-pass parallelization (the dominant cost
+// of every mining pass, §3.5/§4) pays thread-startup cost once per run, not
+// once per CountSupports call. The pool is deliberately minimal: one owner
+// thread submits one batch at a time and blocks until it drains, which is
+// exactly the structure of a counting pass (scan chunks, merge partials).
+
+#ifndef PINCER_UTIL_THREAD_POOL_H_
+#define PINCER_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pincer {
+
+/// A fixed set of worker threads executing task batches. `num_threads` is
+/// the total concurrency of a batch including the calling thread: the pool
+/// spawns `num_threads - 1` workers and the caller participates in draining
+/// its own batches, so ThreadPool(1) spawns nothing and RunBatch degenerates
+/// to an inline loop (zero-overhead serial mode).
+///
+/// Not thread-safe: batches must be submitted from a single owner thread,
+/// one at a time. Results are deterministic as long as tasks write to
+/// disjoint state (see ChunkedCountScan in counting/chunked_scan.h for the
+/// merge-in-order pattern the counting backends use).
+class ThreadPool {
+ public:
+  /// Resolves a user-facing thread-count knob: 0 means "use the hardware",
+  /// anything else is taken literally (minimum 1).
+  static size_t ResolveThreadCount(size_t requested);
+
+  /// Creates the pool with ResolveThreadCount(num_threads) total threads.
+  explicit ThreadPool(size_t num_threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Total batch concurrency (workers + the calling thread), >= 1.
+  size_t num_threads() const { return num_threads_; }
+
+  /// Runs task(i) for every i in [0, num_tasks) across the pool and the
+  /// calling thread; returns once all invocations finished. Each index runs
+  /// exactly once. Tasks must not call back into the pool.
+  void RunBatch(size_t num_tasks, const std::function<void(size_t)>& task);
+
+ private:
+  void WorkerLoop();
+
+  size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_UTIL_THREAD_POOL_H_

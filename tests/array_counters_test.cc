@@ -4,6 +4,7 @@
 
 #include "counting/array_counters.h"
 #include "testing/db_builder.h"
+#include "util/thread_pool.h"
 
 namespace pincer {
 namespace {
@@ -70,6 +71,46 @@ TEST(PairCountMatrix, MatchesDirectScanOnRandomData) {
     for (ItemId b = a + 1; b < 10; ++b) {
       EXPECT_EQ(matrix.PairCount(a, b), db.CountSupport(Itemset{a, b}))
           << "{" << a << "," << b << "}";
+    }
+  }
+}
+
+// The pooled pass-1 scan merges per-chunk partial arrays in chunk order, so
+// it is bit-identical to the serial scan at every thread count. The 200-row
+// database splits into multiple chunks even at the 64-row minimum chunk
+// size.
+TEST(CountSingletons, PooledScanMatchesSerial) {
+  RandomDbParams params;
+  params.num_items = 12;
+  params.num_transactions = 200;
+  params.seed = 13;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  const std::vector<uint64_t> serial = CountSingletons(db);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(CountSingletons(db, &pool), serial) << threads << " threads";
+  }
+}
+
+TEST(PairCountMatrix, PooledScanMatchesSerial) {
+  RandomDbParams params;
+  params.num_items = 10;
+  params.num_transactions = 200;
+  params.seed = 14;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  std::vector<ItemId> all_items;
+  for (ItemId i = 0; i < 10; ++i) all_items.push_back(i);
+  PairCountMatrix serial(all_items);
+  serial.CountDatabase(db);
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool pool(threads);
+    PairCountMatrix pooled(all_items);
+    pooled.CountDatabase(db, &pool);
+    for (ItemId a = 0; a < 10; ++a) {
+      for (ItemId b = a + 1; b < 10; ++b) {
+        ASSERT_EQ(pooled.PairCount(a, b), serial.PairCount(a, b))
+            << threads << " threads, pair {" << a << "," << b << "}";
+      }
     }
   }
 }

@@ -10,7 +10,9 @@
 #include "counting/parallel_counter.h"
 #include "counting/trie_counter.h"
 #include "testing/db_builder.h"
+#include "util/metrics.h"
 #include "util/prng.h"
+#include "util/thread_pool.h"
 
 namespace pincer {
 namespace {
@@ -125,6 +127,70 @@ TEST(CounterFactory, BackendNamesAreDistinct) {
   EXPECT_EQ(CounterBackendName(CounterBackend::kHashTree), "hash_tree");
   EXPECT_EQ(CounterBackendName(CounterBackend::kTrie), "trie");
   EXPECT_EQ(CounterBackendName(CounterBackend::kVertical), "vertical");
+}
+
+// The 3-argument factory overload attaches the shared pool to every
+// backend — including kParallel, whose worker count previously could not be
+// configured through the factory at all (it silently fell back to hardware
+// concurrency).
+TEST(CounterFactory, AttachesSharedThreadPool) {
+  const TransactionDatabase db = MakeDatabase({{0, 1}, {0}, {1}});
+  ThreadPool pool(3);
+  for (CounterBackend backend : AllCounterBackends()) {
+    auto counter = CreateCounter(backend, db, &pool);
+    EXPECT_EQ(counter->backend(), backend);
+    const std::vector<uint64_t> counts =
+        counter->CountSupports({Itemset{0}, Itemset{0, 1}});
+    EXPECT_EQ(counts, (std::vector<uint64_t>{2, 1}))
+        << CounterBackendName(backend);
+  }
+}
+
+TEST(CounterFactory, ParallelBackendUsesTheAttachedPoolThreadCount) {
+  const TransactionDatabase db = MakeDatabase({{0, 1}});
+  ThreadPool pool(3);
+  auto counter = CreateCounter(CounterBackend::kParallel, db, &pool);
+  EXPECT_EQ(static_cast<ParallelCounter*>(counter.get())->num_threads(), 3u);
+}
+
+TEST(CounterFactory, NullPoolMatchesTwoArgumentOverload) {
+  const TransactionDatabase db = MakeDatabase({{0, 1}, {1}});
+  for (CounterBackend backend : AllCounterBackends()) {
+    auto counter = CreateCounter(backend, db, /*pool=*/nullptr);
+    EXPECT_EQ(counter->CountSupports({Itemset{1}}),
+              (std::vector<uint64_t>{2}))
+        << CounterBackendName(backend);
+  }
+}
+
+// Metrics convention, shared by every backend: the empty candidate is
+// answered as |D| without touching the counting structure or the database,
+// so it appears in neither candidates_counted nor a scan. A batch of 2
+// non-empty + 2 empty candidates therefore reports exactly 2.
+TEST_P(CounterBackendTest, MetricsCountOnlyNonEmptyCandidates) {
+  const TransactionDatabase db = MakeDatabase({{0, 1, 2}, {0, 1}, {2}});
+  auto counter = CreateCounter(GetParam(), db);
+  CountingMetrics metrics;
+  counter->set_metrics(&metrics);
+  const std::vector<uint64_t> counts = counter->CountSupports(
+      {Itemset{}, Itemset{0, 1}, Itemset{}, Itemset{2}});
+  EXPECT_EQ(counts, (std::vector<uint64_t>{3, 2, 3, 2}));
+  EXPECT_EQ(metrics.count_calls, 1u);
+  EXPECT_EQ(metrics.candidates_counted, 2u);
+}
+
+// An all-empty batch is answered entirely from |D|: no scan happens, so
+// transactions_scanned stays 0 for every backend.
+TEST_P(CounterBackendTest, AllEmptyBatchScansNothing) {
+  const TransactionDatabase db = MakeDatabase({{0, 1}, {2}});
+  auto counter = CreateCounter(GetParam(), db);
+  CountingMetrics metrics;
+  counter->set_metrics(&metrics);
+  const std::vector<uint64_t> counts =
+      counter->CountSupports({Itemset{}, Itemset{}});
+  EXPECT_EQ(counts, (std::vector<uint64_t>{2, 2}));
+  EXPECT_EQ(metrics.candidates_counted, 0u);
+  EXPECT_EQ(metrics.transactions_scanned, 0u);
 }
 
 TEST(ParallelCounter, AgreesWithTrieAcrossThreadCounts) {

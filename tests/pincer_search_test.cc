@@ -194,6 +194,38 @@ TEST(PincerSearch, MaximalItemsetsComeFromMfcsInEarlyPasses) {
   EXPECT_LT(result.stats.passes, 8u);
 }
 
+// A run stopped by the pass cap while MFCS elements are still unclassified
+// is truncated and must say so: stats.aborted distinguishes it from a
+// complete run in the JSON output.
+TEST(PincerSearch, PassCapWithLiveMfcsReportsAborted) {
+  RandomDbParams params;
+  params.num_items = 10;
+  params.num_transactions = 60;
+  params.item_probability = 0.5;
+  params.seed = 9;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+
+  MiningOptions options = WithSupport(0.15);
+  const MaximalSetResult full = PincerSearch(db, options);
+  ASSERT_GT(full.stats.passes, 2u)
+      << "fixture database must need more than 2 passes";
+  EXPECT_FALSE(full.stats.aborted);
+
+  options.max_passes = 2;
+  const MaximalSetResult truncated = PincerSearch(db, options);
+  EXPECT_TRUE(truncated.stats.aborted);
+  EXPECT_LE(truncated.stats.passes, 2u);
+}
+
+// The automatic cap (|items| + 2) is unreachable on well-formed inputs, so
+// an ordinary complete run never reports aborted.
+TEST(PincerSearch, CompleteRunIsNotAborted) {
+  const TransactionDatabase db =
+      MakeDatabase({{0, 1, 2}, {0, 1}, {1, 2}, {0, 2}});
+  const MaximalSetResult result = PincerSearch(db, WithSupport(0.25));
+  EXPECT_FALSE(result.stats.aborted);
+}
+
 // Sparse universes: items that never occur must not break the MFCS descent.
 TEST(PincerSearch, InactiveItemsAreHandled) {
   TransactionDatabase db(20);  // only items 0..2 ever occur

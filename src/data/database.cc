@@ -1,7 +1,6 @@
 #include "data/database.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace pincer {
@@ -13,7 +12,20 @@ void TransactionDatabase::AddTransaction(Transaction transaction) {
   std::sort(transaction.begin(), transaction.end());
   transaction.erase(std::unique(transaction.begin(), transaction.end()),
                     transaction.end());
-  assert(transaction.empty() || transaction.back() < num_items_);
+  // Ids outside the declared universe are dropped, not stored: every
+  // downstream consumer (bitset construction, the triangular pair matrix,
+  // the vertical index) indexes arrays of size num_items_, so an
+  // out-of-range id that survived here would be an out-of-bounds write in
+  // release builds. The transaction is sorted, so the offenders form a
+  // suffix.
+  const auto first_out_of_range = std::partition_point(
+      transaction.begin(), transaction.end(),
+      [this](ItemId id) { return static_cast<size_t>(id) < num_items_; });
+  if (first_out_of_range != transaction.end()) {
+    num_dropped_items_ +=
+        static_cast<uint64_t>(transaction.end() - first_out_of_range);
+    transaction.erase(first_out_of_range, transaction.end());
+  }
   transactions_.push_back(std::move(transaction));
   bitsets_.clear();
 }

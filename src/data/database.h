@@ -37,9 +37,18 @@ class TransactionDatabase {
   size_t size() const { return transactions_.size(); }
   bool empty() const { return transactions_.empty(); }
 
-  /// Appends one transaction. Items are sorted and deduplicated; out-of-range
-  /// ids are a programming error (asserted). Invalidates the bitset cache.
+  /// Appends one transaction. Items are sorted and deduplicated. Ids outside
+  /// [0, num_items()) are dropped (never stored — they would otherwise index
+  /// past every num_items-sized array downstream) and tallied in
+  /// num_dropped_items(); a transaction whose ids are all out of range is
+  /// kept as an empty transaction, consistent with empty input. Invalidates
+  /// the bitset cache.
   void AddTransaction(Transaction transaction);
+
+  /// Total out-of-range item ids dropped by AddTransaction since
+  /// construction. Nonzero means the caller fed ids outside the declared
+  /// universe; the stored data is still well-formed.
+  uint64_t num_dropped_items() const { return num_dropped_items_; }
 
   /// The i-th transaction (sorted item ids).
   const Transaction& transaction(size_t i) const { return transactions_[i]; }
@@ -80,6 +89,7 @@ class TransactionDatabase {
 
  private:
   size_t num_items_;
+  uint64_t num_dropped_items_ = 0;
   std::vector<Transaction> transactions_;
   // Lazily built; mutable because it is a cache over immutable data.
   mutable std::vector<DynamicBitset> bitsets_;

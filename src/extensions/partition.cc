@@ -4,6 +4,8 @@
 
 #include "counting/counter_factory.h"
 #include "itemset/itemset_set.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace pincer {
@@ -17,49 +19,88 @@ FrequentSetResult PartitionMine(const TransactionDatabase& db,
   const size_t num_partitions =
       std::max<size_t>(1, std::min(partition.num_partitions,
                                    std::max<size_t>(db.size(), 1)));
+  // One pool per run, shared with the phase-2 validation scan; the local
+  // mining runs resolve the same options.num_threads through their own
+  // per-run pools.
+  ThreadPool pool(options.num_threads);
+  result.stats.num_threads = pool.num_threads();
 
   // Phase 1: mine each partition locally. Together the partition scans read
   // every transaction once — one conceptual database pass.
   ItemsetSet candidate_union;
   std::vector<Itemset> candidates;
   uint64_t local_candidates = 0;
+  PassStats phase1;
+  phase1.pass = 1;
   const size_t chunk = (db.size() + num_partitions - 1) / num_partitions;
-  for (size_t p = 0; p < num_partitions; ++p) {
-    if (options.time_budget_ms > 0 &&
-        timer.ElapsedMillis() > options.time_budget_ms) {
-      result.stats.aborted = true;
-      break;
-    }
-    const size_t begin = p * chunk;
-    const size_t end = std::min(begin + chunk, db.size());
-    if (begin >= end) break;
-    TransactionDatabase local(db.num_items());
-    for (size_t i = begin; i < end; ++i) {
-      local.AddTransaction(db.transaction(i));
-    }
-    MiningOptions local_options = options;  // same fractional threshold
-    const FrequentSetResult local_result = AprioriMine(local, local_options);
-    if (local_result.stats.aborted) result.stats.aborted = true;
-    local_candidates += local_result.stats.reported_candidates;
-    for (const FrequentItemset& fi : local_result.frequent) {
-      if (candidate_union.Insert(fi.itemset)) {
-        candidates.push_back(fi.itemset);
+  {
+    ScopedMsTimer phase1_timer(phase1.counting_ms);
+    for (size_t p = 0; p < num_partitions; ++p) {
+      if (options.time_budget_ms > 0 &&
+          timer.ElapsedMillis() > options.time_budget_ms) {
+        result.stats.aborted = true;
+        break;
+      }
+      const size_t begin = p * chunk;
+      const size_t end = std::min(begin + chunk, db.size());
+      if (begin >= end) break;
+      TransactionDatabase local(db.num_items());
+      for (size_t i = begin; i < end; ++i) {
+        local.AddTransaction(db.transaction(i));
+      }
+      MiningOptions local_options = options;  // same fractional threshold
+      const FrequentSetResult local_result = AprioriMine(local, local_options);
+      if (local_result.stats.aborted) result.stats.aborted = true;
+      // Everything the local run counted, including its passes 1-2: the
+      // union of local frequent sets (phase1.num_frequent) spans all sizes,
+      // so the paper's pass>=3-only reported figure would undercount and
+      // could fall below num_frequent.
+      local_candidates += local_result.stats.total_candidates;
+      for (const FrequentItemset& fi : local_result.frequent) {
+        if (candidate_union.Insert(fi.itemset)) {
+          candidates.push_back(fi.itemset);
+        }
       }
     }
   }
   ++result.stats.passes;
+  phase1.num_candidates = local_candidates;
+  phase1.num_frequent = candidates.size();
+  result.stats.total_candidates = local_candidates;
+  result.stats.per_pass.push_back(phase1);
+
+  // A run that already blew its budget in phase 1 must not start the full
+  // phase-2 validation scan — it would read the whole database after the
+  // caller asked us to stop. The union is unvalidated, so no itemset is
+  // reported and reported_candidates stays 0.
+  if (result.stats.aborted ||
+      (options.time_budget_ms > 0 &&
+       timer.ElapsedMillis() > options.time_budget_ms)) {
+    result.stats.aborted = true;
+    result.stats.elapsed_millis = timer.ElapsedMillis();
+    return result;
+  }
 
   // Phase 2: one full pass validates the union.
   ++result.stats.passes;
+  PassStats phase2;
+  phase2.pass = 2;
+  phase2.num_candidates = candidates.size();
   result.stats.reported_candidates = candidates.size();
-  result.stats.total_candidates = candidates.size() + local_candidates;
-  auto counter = CreateCounter(options.backend, db);
-  const std::vector<uint64_t> counts = counter->CountSupports(candidates);
+  result.stats.total_candidates += candidates.size();
+  auto counter = CreateCounter(options.backend, db, &pool);
+  std::vector<uint64_t> counts;
+  {
+    ScopedMsTimer count_timer(phase2.counting_ms);
+    counts = counter->CountSupports(candidates);
+  }
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (counts[i] >= min_count) {
       result.frequent.push_back({candidates[i], counts[i]});
     }
   }
+  phase2.num_frequent = result.frequent.size();
+  result.stats.per_pass.push_back(phase2);
   std::sort(result.frequent.begin(), result.frequent.end());
   result.stats.elapsed_millis = timer.ElapsedMillis();
   return result;

@@ -30,7 +30,15 @@ struct PartitionOptions {
 /// set, validated by one full counting pass. Stats count the local mining
 /// phase as one conceptual pass (each row is read once across partitions)
 /// plus the validation pass; reported_candidates is the size of the global
-/// candidate union.
+/// candidate union (0 when the run aborted before validating it).
+///
+/// options.num_threads reaches every counting scan: the phase-2 validation
+/// pass runs on a per-run ThreadPool and each partition's local Apriori run
+/// resolves the same knob; stats.num_threads echoes the resolved count.
+/// options.time_budget_ms is checked between partitions and again before
+/// phase 2 — a run that exhausts the budget in phase 1 reports
+/// stats.aborted and returns without the full validation scan (its
+/// candidate union is unvalidated, so result.frequent is empty).
 FrequentSetResult PartitionMine(const TransactionDatabase& db,
                                 const MiningOptions& options,
                                 const PartitionOptions& partition =

@@ -7,7 +7,9 @@
 #include "counting/counter_factory.h"
 #include "itemset/itemset_ops.h"
 #include "itemset/itemset_set.h"
+#include "util/metrics.h"
 #include "util/prng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace pincer {
@@ -61,6 +63,11 @@ FrequentSetResult SamplingMine(const TransactionDatabase& db,
   Timer timer;
   FrequentSetResult result;
   const uint64_t min_count = db.MinSupportCount(options.min_support);
+  // One pool per run for the full-database verification passes; the sample
+  // mining and the exact fallback resolve the same options.num_threads
+  // through their own per-run pools.
+  ThreadPool pool(options.num_threads);
+  result.stats.num_threads = pool.num_threads();
 
   // Draw the sample.
   Prng prng(sampling.seed);
@@ -84,7 +91,7 @@ FrequentSetResult SamplingMine(const TransactionDatabase& db,
   std::vector<Itemset> family = ItemsetsOf(sample_result.frequent);
   SortLexicographically(family);
 
-  auto counter = CreateCounter(options.backend, db);
+  auto counter = CreateCounter(options.backend, db, &pool);
   std::unordered_map<Itemset, uint64_t, ItemsetHash> supports;
 
   auto count_batch = [&](const std::vector<Itemset>& batch) {
@@ -94,12 +101,21 @@ FrequentSetResult SamplingMine(const TransactionDatabase& db,
     }
     if (uncounted.empty()) return;
     ++result.stats.passes;
+    PassStats pass;
+    pass.pass = result.stats.passes;
+    pass.num_candidates = uncounted.size();
     result.stats.reported_candidates += uncounted.size();
     result.stats.total_candidates += uncounted.size();
-    const std::vector<uint64_t> counts = counter->CountSupports(uncounted);
+    std::vector<uint64_t> counts;
+    {
+      ScopedMsTimer count_timer(pass.counting_ms);
+      counts = counter->CountSupports(uncounted);
+    }
     for (size_t i = 0; i < uncounted.size(); ++i) {
+      if (counts[i] >= min_count) ++pass.num_frequent;
       supports.emplace(std::move(uncounted[i]), counts[i]);
     }
+    result.stats.per_pass.push_back(pass);
   };
 
   // Verify S plus its negative border; extend on misses.
@@ -137,9 +153,22 @@ FrequentSetResult SamplingMine(const TransactionDatabase& db,
   }
 
   // Safety valve: exact fallback if the correction loop did not converge.
+  // The correction rounds did real full-database work, so their stats are
+  // merged into (not replaced by) the fallback run's: pass records are
+  // concatenated in execution order with the fallback's pass numbers
+  // shifted, and every counter accumulates.
   FrequentSetResult fallback = AprioriMine(db, options);
-  fallback.stats.passes += result.stats.passes;
+  const size_t correction_passes = result.stats.passes;
+  for (PassStats& pass : fallback.stats.per_pass) {
+    pass.pass += correction_passes;
+  }
+  fallback.stats.per_pass.insert(fallback.stats.per_pass.begin(),
+                                 result.stats.per_pass.begin(),
+                                 result.stats.per_pass.end());
+  fallback.stats.passes += correction_passes;
   fallback.stats.reported_candidates += result.stats.reported_candidates;
+  fallback.stats.total_candidates += result.stats.total_candidates;
+  fallback.stats.aborted = fallback.stats.aborted || result.stats.aborted;
   fallback.stats.elapsed_millis = timer.ElapsedMillis();
   return fallback;
 }

@@ -43,6 +43,14 @@ std::vector<Itemset> NegativeBorder(const std::vector<Itemset>& family,
 /// stats.passes counts full-database passes only (the sample mining is
 /// in-memory); reported_candidates counts itemsets counted against the full
 /// database.
+///
+/// options.num_threads reaches every counting scan: the verification passes
+/// run on a per-run ThreadPool, and the sample mining plus the exact
+/// fallback resolve the same knob; stats.num_threads echoes the resolved
+/// count. If the correction loop does not converge within
+/// max_correction_rounds, the exact fallback's stats are merged with the
+/// correction rounds' (pass records concatenated in execution order,
+/// candidate totals accumulated) — nothing already spent is dropped.
 FrequentSetResult SamplingMine(const TransactionDatabase& db,
                                const MiningOptions& options,
                                const SamplingOptions& sampling =

@@ -85,5 +85,51 @@ TEST(TransactionDatabase, EmptyTransactionsAreKept) {
   EXPECT_TRUE(db.transaction(0).empty());
 }
 
+TEST(TransactionDatabase, OutOfRangeItemsAreDroppedNotStored) {
+  // Before the drop policy, ids >= num_items() flowed straight into the
+  // num_items-sized bitsets — a heap overflow in release builds that this
+  // test would trip under ASan.
+  TransactionDatabase db(4);
+  db.AddTransaction({1, 7, 3, 100});
+  ASSERT_EQ(db.size(), 1u);
+  const Transaction expected = {1, 3};
+  EXPECT_EQ(db.transaction(0), expected);
+  EXPECT_EQ(db.num_dropped_items(), 2u);
+
+  // The bitset cache must be safe to build and query after the drop.
+  EXPECT_TRUE(db.transaction_bits(0).Test(1));
+  EXPECT_TRUE(db.transaction_bits(0).Test(3));
+  EXPECT_FALSE(db.transaction_bits(0).Test(0));
+  EXPECT_EQ(db.CountSupport(Itemset{1, 3}), 1u);
+}
+
+TEST(TransactionDatabase, AllOutOfRangeBecomesEmptyTransaction) {
+  // Consistent with empty input: the row survives, just with nothing in it.
+  TransactionDatabase db(2);
+  db.AddTransaction({5, 9});
+  ASSERT_EQ(db.size(), 1u);
+  EXPECT_TRUE(db.transaction(0).empty());
+  EXPECT_EQ(db.num_dropped_items(), 2u);
+}
+
+TEST(TransactionDatabase, DroppedItemsAccumulateAndDeduplicateFirst) {
+  // Duplicates are removed before the range check, so each distinct
+  // offending id counts once per transaction.
+  TransactionDatabase db(3);
+  db.AddTransaction({0, 4, 4, 4});
+  db.AddTransaction({1, 2});
+  db.AddTransaction({3});
+  EXPECT_EQ(db.num_dropped_items(), 2u);
+  EXPECT_EQ(db.TotalItemOccurrences(), 3u);
+}
+
+TEST(TransactionDatabase, ZeroItemUniverseDropsEverything) {
+  TransactionDatabase db(0);
+  db.AddTransaction({0, 1});
+  ASSERT_EQ(db.size(), 1u);
+  EXPECT_TRUE(db.transaction(0).empty());
+  EXPECT_EQ(db.num_dropped_items(), 2u);
+}
+
 }  // namespace
 }  // namespace pincer

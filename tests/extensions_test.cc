@@ -9,9 +9,12 @@
 #include "itemset/itemset_set.h"
 #include "testing/brute_force.h"
 #include "testing/db_builder.h"
+#include "tests/test_json_parser.h"
 
 namespace pincer {
 namespace {
+
+using test::ParseJson;
 
 MiningOptions WithSupport(double min_support) {
   MiningOptions options;
@@ -170,6 +173,114 @@ TEST(Sampling, TinySampleStillExact) {
 TEST(Sampling, EmptyDatabase) {
   TransactionDatabase db(4);
   EXPECT_TRUE(SamplingMine(db, WithSupport(0.5)).frequent.empty());
+}
+
+// ---- num_threads must reach the extension miners ----
+
+double JsonNumThreads(const MiningStats& stats) {
+  const auto doc = ParseJson(stats.ToJsonString());
+  if (!doc.has_value()) return -1.0;
+  const test::JsonValue* value = doc->Find("num_threads");
+  return value == nullptr ? -1.0 : value->number;
+}
+
+TEST(Partition, ThreadCountReachesScansAndStats) {
+  RandomDbParams params;
+  params.num_items = 9;
+  params.num_transactions = 90;
+  params.seed = 21;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  const std::vector<FrequentItemset> oracle = BruteForceFrequent(db, 0.2);
+
+  for (size_t threads : {size_t{1}, size_t{3}, size_t{8}}) {
+    MiningOptions options = WithSupport(0.2);
+    options.num_threads = threads;
+    const FrequentSetResult result = PartitionMine(db, options);
+    EXPECT_EQ(result.frequent, oracle) << threads << " threads";
+    EXPECT_EQ(result.stats.num_threads, threads);
+    EXPECT_EQ(JsonNumThreads(result.stats), static_cast<double>(threads));
+  }
+}
+
+TEST(Sampling, ThreadCountReachesScansAndStats) {
+  RandomDbParams params;
+  params.num_items = 9;
+  params.num_transactions = 90;
+  params.seed = 22;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  const std::vector<FrequentItemset> oracle = BruteForceFrequent(db, 0.2);
+
+  for (size_t threads : {size_t{1}, size_t{3}, size_t{8}}) {
+    MiningOptions options = WithSupport(0.2);
+    options.num_threads = threads;
+    const FrequentSetResult result = SamplingMine(db, options);
+    EXPECT_EQ(result.frequent, oracle) << threads << " threads";
+    EXPECT_EQ(result.stats.num_threads, threads);
+    EXPECT_EQ(JsonNumThreads(result.stats), static_cast<double>(threads));
+  }
+}
+
+// ---- budget handling ----
+
+TEST(Partition, ExhaustedBudgetSkipsPhaseTwo) {
+  RandomDbParams params;
+  params.num_items = 10;
+  params.num_transactions = 400;
+  params.item_probability = 0.5;
+  params.seed = 23;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+
+  MiningOptions options = WithSupport(0.05);
+  // Any nonzero elapsed time exhausts this budget, so phase 1 always
+  // overruns it and the phase-2 validation scan must not start.
+  options.time_budget_ms = 1e-9;
+  const FrequentSetResult result = PartitionMine(db, options);
+  EXPECT_TRUE(result.stats.aborted);
+  EXPECT_LE(result.stats.passes, 1u);
+  EXPECT_TRUE(result.frequent.empty())
+      << "aborted run reported unvalidated itemsets";
+  EXPECT_EQ(result.stats.reported_candidates, 0u);
+}
+
+// ---- fallback stats are merged, not replaced ----
+
+TEST(Sampling, FallbackMergesCorrectionStats) {
+  RandomDbParams params;
+  params.num_items = 9;
+  params.num_transactions = 150;
+  params.item_probability = 0.45;
+  params.seed = 24;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+
+  // Force the exact fallback: a tiny, unrepresentative sample mined with no
+  // safety margin misses on the first verification pass, and with only one
+  // correction round allowed the run falls through to the full Apriori run.
+  // (The seed is chosen so round 1 really does miss; the assertion on
+  // passes >= 2 below would catch a converging seed.)
+  SamplingOptions sopts;
+  sopts.sample_fraction = 0.04;
+  sopts.lowered_factor = 1.0;
+  sopts.max_correction_rounds = 1;
+  sopts.seed = 9;
+  const FrequentSetResult result = SamplingMine(db, WithSupport(0.1), sopts);
+
+  EXPECT_EQ(result.frequent, BruteForceFrequent(db, 0.1));
+  // The initial verification pass must survive the merge: pass records
+  // stay in execution order, totals accumulate.
+  ASSERT_EQ(result.stats.per_pass.size(), result.stats.passes);
+  ASSERT_GE(result.stats.passes, 2u)
+      << "expected the verification pass plus the fallback's passes";
+  EXPECT_EQ(result.stats.per_pass.front().pass, 1u);
+  uint64_t summed = 0;
+  size_t last_pass = 0;
+  for (const PassStats& pass : result.stats.per_pass) {
+    EXPECT_GT(pass.pass, last_pass) << "pass numbers must stay increasing";
+    last_pass = pass.pass;
+    summed += pass.num_candidates + pass.num_mfcs_candidates;
+  }
+  EXPECT_EQ(summed, result.stats.total_candidates);
+  EXPECT_GT(result.stats.per_pass.front().num_candidates, 0u)
+      << "verification-pass candidates were dropped by the merge";
 }
 
 }  // namespace

@@ -42,7 +42,10 @@ TEST_P(MineCliJsonTest, StatsJsonMatchesInProcessRun) {
 #else
   const std::string algorithm = GetParam();
   const std::string dir = testing::TempDir();
-  const std::string basket_path = dir + "/mine_cli_json_test.basket";
+  // Per-test paths: ctest runs the parameterized instances as separate,
+  // possibly concurrent processes, so a shared basket file would race.
+  const std::string basket_path =
+      dir + "/mine_cli_json_test_" + algorithm + ".basket";
   const std::string json_path =
       dir + "/mine_cli_json_test_" + algorithm + ".json";
   {

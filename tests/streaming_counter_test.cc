@@ -16,7 +16,11 @@ namespace {
 class StreamingCounterTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/pincer_streaming_test.basket";
+    // One file per test: ctest runs each test in its own process, possibly
+    // concurrently, so a shared name would race.
+    path_ = ::testing::TempDir() + "/pincer_streaming_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".basket";
   }
   void TearDown() override { std::remove(path_.c_str()); }
 

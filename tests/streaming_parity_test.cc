@@ -1,0 +1,146 @@
+// Streaming-vs-in-memory parity: the disk-streaming counter must report
+// byte-identical supports to every in-memory backend for the same logical
+// database, including when the on-disk file carries unsorted rows with
+// duplicate ids — its per-line normalization must match what
+// TransactionDatabase::AddTransaction does in memory.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apriori/apriori.h"
+#include "counting/counter_factory.h"
+#include "counting/streaming_counter.h"
+#include "counting/support_counter.h"
+#include "data/database_io.h"
+#include "testing/db_builder.h"
+
+namespace pincer {
+namespace {
+
+class StreamingParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // One file per test: ctest runs each test in its own process, possibly
+    // concurrently, so a shared name would race.
+    path_ = ::testing::TempDir() + "/pincer_streaming_parity_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".basket";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+// Every non-empty frequent itemset (plus some infrequent probes) counted by
+// the streaming counter over the written file must match every in-memory
+// backend over the same database, count for count.
+TEST_F(StreamingParityTest, AllBackendsMatchStreamingOnMinedCandidates) {
+  RandomDbParams params;
+  params.num_items = 12;
+  params.num_transactions = 120;
+  params.item_probability = 0.35;
+  params.seed = 77;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  ASSERT_TRUE(WriteDatabaseToFile(db, path_).ok());
+
+  // Mine a real candidate set so the probe includes itemsets of every size
+  // the miners actually count, then add never-frequent probes.
+  MiningOptions options;
+  options.min_support = 0.1;
+  std::vector<Itemset> candidates;
+  for (const FrequentItemset& fi : AprioriMine(db, options).frequent) {
+    candidates.push_back(fi.itemset);
+  }
+  ASSERT_FALSE(candidates.empty());
+  candidates.push_back(Itemset{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+
+  StreamingCounter streaming(path_);
+  const StatusOr<std::vector<uint64_t>> streamed =
+      streaming.CountSupports(candidates);
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+  // The basket format cannot represent empty transactions (blank lines are
+  // skipped on read), so the streaming pass sees only the non-empty rows.
+  // Support counts of non-empty itemsets are unaffected.
+  size_t non_empty = 0;
+  for (const Transaction& t : db.transactions()) {
+    if (!t.empty()) ++non_empty;
+  }
+  EXPECT_EQ(streaming.last_pass_transactions(), non_empty);
+
+  for (CounterBackend backend : AllCounterBackends()) {
+    const std::vector<uint64_t> in_memory =
+        CreateCounter(backend, db)->CountSupports(candidates);
+    EXPECT_EQ(in_memory, *streamed) << CounterBackendName(backend);
+  }
+}
+
+// A raw basket file with unsorted rows and duplicate ids must count exactly
+// like a database fed the same messy transactions through AddTransaction:
+// both normalize to the same sorted, deduplicated rows.
+TEST_F(StreamingParityTest, RawFileNormalizationMatchesAddTransaction) {
+  {
+    std::ofstream out(path_);
+    out << "3 1 2 1\n";
+    out << "0 0 0\n";
+    out << "2 1 0 3\n";
+    out << "4 4\n";
+    out << "1 3\n";
+  }
+  TransactionDatabase db(5);
+  db.AddTransaction({3, 1, 2, 1});
+  db.AddTransaction({0, 0, 0});
+  db.AddTransaction({2, 1, 0, 3});
+  db.AddTransaction({4, 4});
+  db.AddTransaction({1, 3});
+
+  std::vector<Itemset> candidates;
+  for (ItemId a = 0; a < 5; ++a) {
+    candidates.push_back(Itemset{a});
+    for (ItemId b = a + 1; b < 5; ++b) candidates.push_back(Itemset{a, b});
+  }
+  candidates.push_back(Itemset{1, 2, 3});
+
+  StreamingCounter streaming(path_);
+  const StatusOr<std::vector<uint64_t>> streamed =
+      streaming.CountSupports(candidates);
+  ASSERT_TRUE(streamed.ok()) << streamed.status();
+
+  for (CounterBackend backend : AllCounterBackends()) {
+    const std::vector<uint64_t> in_memory =
+        CreateCounter(backend, db)->CountSupports(candidates);
+    EXPECT_EQ(in_memory, *streamed) << CounterBackendName(backend);
+  }
+}
+
+// Round-trip check: reading the written file back yields a database whose
+// transactions are identical to the in-memory original, so streaming parity
+// above cannot be an artifact of a lossy writer.
+TEST_F(StreamingParityTest, WrittenFileRoundTripsExactly) {
+  RandomDbParams params;
+  params.num_items = 9;
+  params.num_transactions = 40;
+  params.seed = 13;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  ASSERT_TRUE(WriteDatabaseToFile(db, path_).ok());
+
+  const StatusOr<TransactionDatabase> reread = ReadDatabaseFromFile(path_);
+  ASSERT_TRUE(reread.ok()) << reread.status();
+  EXPECT_EQ(reread->num_items(), db.num_items());
+  // Blank lines (empty transactions) are dropped on read; every non-empty
+  // row must round-trip verbatim and in order.
+  std::vector<Transaction> non_empty;
+  for (const Transaction& t : db.transactions()) {
+    if (!t.empty()) non_empty.push_back(t);
+  }
+  ASSERT_EQ(reread->size(), non_empty.size());
+  for (size_t i = 0; i < non_empty.size(); ++i) {
+    EXPECT_EQ(reread->transaction(i), non_empty[i]) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pincer

@@ -12,6 +12,17 @@
 //     --stats-json=FILE          write run statistics as JSON (schema in
 //                                EXPERIMENTS.md; also enables backend
 //                                counter metrics)
+//     --malformed=strict|skip    what to do with rows that fail to parse:
+//                                fail the run (default) or drop and count
+//                                them (reported as stats.rows_skipped)
+//     --checkpoint=FILE          write a resumable checkpoint after every
+//                                completed pass (atomic: temp + rename)
+//     --resume                   resume from --checkpoint's file instead of
+//                                starting over; rejects a checkpoint from a
+//                                different database, algorithm, or options
+//
+// The PINCER_FAILPOINTS environment variable arms fault-injection points
+// (see util/failpoint.h) — used by the crash-recovery CI job.
 //
 // Exit status: 0 on success, 1 on bad input, 2 on bad usage.
 
@@ -19,13 +30,17 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "counting/counter_factory.h"
 #include "data/database_io.h"
 #include "data/database_stats.h"
+#include "mining/checkpoint.h"
 #include "mining/miner.h"
 #include "rules/mfs_rule_gen.h"
+#include "util/failpoint.h"
 #include "util/json_writer.h"
 #include "util/metrics.h"
 
@@ -36,7 +51,8 @@ int Usage(const char* argv0) {
             << " <database.basket> [--min-support=F] "
                "[--algorithm=apriori|pincer|pincer-adaptive] "
                "[--backend=trie|hash_tree|linear|vertical] [--threads=N] "
-               "[--rules=MIN_CONFIDENCE] [--stats] [--stats-json=FILE]\n";
+               "[--rules=MIN_CONFIDENCE] [--stats] [--stats-json=FILE] "
+               "[--malformed=strict|skip] [--checkpoint=FILE] [--resume]\n";
   return 2;
 }
 
@@ -48,11 +64,18 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
   const std::string path = argv[1];
 
+  if (const Status armed = failpoint::ArmFromEnv(); !armed.ok()) {
+    std::cerr << "PINCER_FAILPOINTS: " << armed << "\n";
+    return 2;
+  }
+
   MiningOptions options;
   Algorithm algorithm = Algorithm::kPincerAdaptive;
   double min_confidence = -1.0;
   bool print_stats = false;
+  bool resume = false;
   std::string stats_json_path;
+  std::string checkpoint_path;
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -99,20 +122,99 @@ int main(int argc, char** argv) {
         std::cerr << "--stats-json needs a file path\n";
         return 2;
       }
+    } else if (arg.rfind("--malformed=", 0) == 0) {
+      const std::optional<MalformedRowPolicy> policy =
+          ParseMalformedRowPolicy(arg.substr(12));
+      if (!policy.has_value()) {
+        std::cerr << "--malformed must be 'strict' or 'skip'\n";
+        return 2;
+      }
+      options.malformed_rows = *policy;
+    } else if (arg.rfind("--checkpoint=", 0) == 0) {
+      checkpoint_path = arg.substr(13);
+      if (checkpoint_path.empty()) {
+        std::cerr << "--checkpoint needs a file path\n";
+        return 2;
+      }
+    } else if (arg == "--resume") {
+      resume = true;
     } else {
       return Usage(argv[0]);
     }
   }
   options.collect_counter_metrics = !stats_json_path.empty();
+  if (resume && checkpoint_path.empty()) {
+    std::cerr << "--resume requires --checkpoint=FILE\n";
+    return 2;
+  }
 
-  const StatusOr<TransactionDatabase> db = ReadDatabaseFromFile(path);
+  DatabaseReadOptions read_options;
+  read_options.malformed_rows = options.malformed_rows;
+  DatabaseReadReport read_report;
+  const StatusOr<TransactionDatabase> db =
+      ReadDatabaseFromFile(path, read_options, &read_report);
   if (!db.ok()) {
     std::cerr << "error reading " << path << ": " << db.status() << "\n";
     return 1;
   }
   std::cerr << ComputeStats(*db).ToString();
+  if (read_report.rows_skipped > 0) {
+    std::cerr << "warning: skipped " << read_report.rows_skipped
+              << " malformed row(s) (--malformed=skip)\n";
+  }
+  if (db->num_dropped_items() > 0) {
+    std::cerr << "warning: dropped " << db->num_dropped_items()
+              << " item id(s) outside the declared universe\n";
+  }
 
-  const MaximalSetResult result = MineMaximal(*db, options, algorithm);
+  // The checkpoint carries the database file's identity so --resume can
+  // refuse a checkpoint from different data.
+  DatabaseFingerprint file_fingerprint;
+  if (!checkpoint_path.empty()) {
+    if (const Status status = FillFileFingerprint(path, file_fingerprint);
+        !status.ok()) {
+      std::cerr << "error fingerprinting " << path << ": " << status << "\n";
+      return 1;
+    }
+    options.checkpoint_sink = [&](const Checkpoint& checkpoint) {
+      Checkpoint stamped = checkpoint;
+      stamped.database.path = file_fingerprint.path;
+      stamped.database.file_bytes = file_fingerprint.file_bytes;
+      return WriteCheckpointToFile(stamped, checkpoint_path);
+    };
+  }
+
+  MaximalSetResult result;
+  if (resume) {
+    const StatusOr<Checkpoint> checkpoint =
+        ReadCheckpointFromFile(checkpoint_path);
+    if (!checkpoint.ok()) {
+      std::cerr << "error reading checkpoint " << checkpoint_path << ": "
+                << checkpoint.status() << "\n";
+      return 1;
+    }
+    if (!checkpoint->database.path.empty() &&
+        (checkpoint->database.path != file_fingerprint.path ||
+         checkpoint->database.file_bytes != file_fingerprint.file_bytes)) {
+      std::cerr << "error: checkpoint " << checkpoint_path << " was written "
+                << "for " << checkpoint->database.path << " ("
+                << checkpoint->database.file_bytes << " bytes), not " << path
+                << " (" << file_fingerprint.file_bytes << " bytes)\n";
+      return 1;
+    }
+    StatusOr<MaximalSetResult> resumed =
+        ResumeMaximal(*db, options, algorithm, *checkpoint);
+    if (!resumed.ok()) {
+      std::cerr << "error resuming from " << checkpoint_path << ": "
+                << resumed.status() << "\n";
+      return 1;
+    }
+    result = std::move(*resumed);
+  } else {
+    result = MineMaximal(*db, options, algorithm);
+  }
+  result.stats.rows_skipped += read_report.rows_skipped;
+  result.stats.rows_dropped_items += db->num_dropped_items();
   std::cout << "# maximal frequent itemsets: " << result.mfs.size() << "\n";
   std::cout << "# format: support <tab> items...\n";
   for (const FrequentItemset& fi : result.mfs) {

@@ -1,12 +1,15 @@
 #include "apriori/apriori.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 
 #include "apriori/apriori_gen.h"
 #include "counting/array_counters.h"
 #include "counting/counter_factory.h"
+#include "counting/scan_budget.h"
 #include "itemset/itemset_ops.h"
+#include "mining/checkpoint.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -28,32 +31,76 @@ std::vector<FrequentItemset> FrequentSetResult::MaximalItemsets() const {
 
 namespace {
 
-// Counts candidates either through the fast-path arrays (k = 1, 2) or the
-// generic backend, and splits them into frequent (appended to `result`,
-// returned as L_k) and the rest.
-struct PassOutcome {
-  std::vector<Itemset> frequent;  // L_k, sorted
-  size_t num_candidates = 0;
-};
+// Snapshot handed to the checkpoint sink after each completed pass: the
+// frequent set so far plus L_k, everything the next pass depends on.
+Checkpoint MakeCheckpoint(const TransactionDatabase& db,
+                          const MiningOptions& options,
+                          const FrequentSetResult& result,
+                          const std::vector<Itemset>& lk, size_t next_pass,
+                          double elapsed_ms) {
+  Checkpoint checkpoint;
+  checkpoint.algorithm = "apriori";
+  checkpoint.next_pass = next_pass;
+  checkpoint.options_fingerprint = OptionsFingerprint(options, "apriori");
+  checkpoint.database.rows = db.size();
+  checkpoint.database.items = db.num_items();
+  checkpoint.stats = result.stats;
+  checkpoint.stats.elapsed_millis = elapsed_ms;
+  checkpoint.frequent = result.frequent;
+  checkpoint.live_candidates = lk;
+  return checkpoint;
+}
 
-}  // namespace
-
-FrequentSetResult AprioriMine(const TransactionDatabase& db,
-                              const MiningOptions& options) {
+// The shared driver. `resume` null mines from scratch; otherwise state is
+// restored from the (already validated) checkpoint and mining starts at its
+// next_pass. Pass bookkeeping (stats.passes, tallies, the per-pass record)
+// happens only after a pass's counting scan completes, so a scan aborted by
+// the time budget leaves no trace of the in-flight pass.
+FrequentSetResult AprioriRun(const TransactionDatabase& db,
+                             const MiningOptions& options,
+                             const Checkpoint* resume) {
   Timer timer;
   FrequentSetResult result;
   MiningStats& stats = result.stats;
   const uint64_t min_count = db.MinSupportCount(options.min_support);
   // One pool per run, shared by the backend and the array fast paths.
   ThreadPool pool(options.num_threads);
-  stats.num_threads = pool.num_threads();
   auto counter = CreateCounter(options.backend, db, &pool);
   if (options.collect_counter_metrics) counter->set_metrics(&stats.counting);
+  std::optional<ScanBudget> budget;
+  if (options.time_budget_ms > 0) budget.emplace(options.time_budget_ms);
+  ScanBudget* scan_budget = budget.has_value() ? &*budget : nullptr;
+  counter->set_scan_budget(scan_budget);
+
+  // `lk` is the current level: frequent 1-itemsets after pass 1, then L_k.
+  std::vector<Itemset> lk;
+  size_t k = 1;
+  double elapsed_base = 0;
+  bool sink_error_logged = false;
+  if (resume != nullptr) {
+    stats = resume->stats;
+    result.frequent = resume->frequent;
+    lk = resume->live_candidates;
+    k = static_cast<size_t>(resume->next_pass);
+    // Checkpointed wall-clock covers completed work; this run adds its own.
+    elapsed_base = stats.elapsed_millis;
+  }
+  stats.num_threads = pool.num_threads();
+
+  const auto emit_checkpoint = [&](size_t next_pass) {
+    if (!options.checkpoint_sink) return;
+    DeliverCheckpoint(options,
+                      MakeCheckpoint(db, options, result, lk, next_pass,
+                                     elapsed_base + timer.ElapsedMillis()),
+                      sink_error_logged);
+  };
+  const auto finish = [&]() {
+    std::sort(result.frequent.begin(), result.frequent.end());
+    stats.elapsed_millis = elapsed_base + timer.ElapsedMillis();
+  };
 
   // ---- Pass 1: 1-itemsets.
-  std::vector<Itemset> l1;
-  {
-    ++stats.passes;
+  if (k <= 1) {
     PassStats pass;
     pass.pass = 1;
     pass.num_candidates = db.num_items();
@@ -61,7 +108,7 @@ FrequentSetResult AprioriMine(const TransactionDatabase& db,
     {
       ScopedMsTimer count_timer(pass.counting_ms);
       if (options.use_array_fast_path) {
-        counts = CountSingletons(db, &pool);
+        counts = CountSingletons(db, &pool, scan_budget);
       } else {
         std::vector<Itemset> singles;
         singles.reserve(db.num_items());
@@ -71,79 +118,101 @@ FrequentSetResult AprioriMine(const TransactionDatabase& db,
         counts = counter->CountSupports(singles);
       }
     }
+    if (scan_budget != nullptr && scan_budget->exceeded()) {
+      stats.aborted = true;
+      finish();
+      return result;
+    }
+    ++stats.passes;
     for (ItemId item = 0; item < db.num_items(); ++item) {
       if (counts[item] >= min_count) {
-        l1.push_back(Itemset{item});
-        result.frequent.push_back({l1.back(), counts[item]});
-      }
-    }
-    pass.num_frequent = l1.size();
-    stats.total_candidates += pass.num_candidates;
-    stats.per_pass.push_back(pass);
-    if (options.verbose) {
-      PINCER_LOG(kInfo) << "apriori pass 1: " << l1.size() << "/"
-                        << db.num_items() << " items frequent";
-    }
-  }
-
-  // ---- Pass 2: 2-itemsets via the triangular array (no generation step).
-  std::vector<Itemset> lk;
-  if (l1.size() >= 2) {
-    ++stats.passes;
-    PassStats pass;
-    pass.pass = 2;
-    std::vector<ItemId> frequent_items;
-    frequent_items.reserve(l1.size());
-    for (const Itemset& single : l1) frequent_items.push_back(single[0]);
-    pass.num_candidates = l1.size() * (l1.size() - 1) / 2;
-
-    if (options.use_array_fast_path) {
-      PairCountMatrix matrix(frequent_items);
-      {
-        ScopedMsTimer count_timer(pass.counting_ms);
-        matrix.CountDatabase(db, &pool);
-      }
-      for (size_t i = 0; i < frequent_items.size(); ++i) {
-        for (size_t j = i + 1; j < frequent_items.size(); ++j) {
-          const uint64_t count =
-              matrix.PairCount(frequent_items[i], frequent_items[j]);
-          if (count >= min_count) {
-            lk.push_back(Itemset{frequent_items[i], frequent_items[j]});
-            result.frequent.push_back({lk.back(), count});
-          }
-        }
-      }
-    } else {
-      std::vector<Itemset> pairs;
-      pairs.reserve(pass.num_candidates);
-      for (size_t i = 0; i < frequent_items.size(); ++i) {
-        for (size_t j = i + 1; j < frequent_items.size(); ++j) {
-          pairs.push_back(Itemset{frequent_items[i], frequent_items[j]});
-        }
-      }
-      std::vector<uint64_t> counts;
-      {
-        ScopedMsTimer count_timer(pass.counting_ms);
-        counts = counter->CountSupports(pairs);
-      }
-      for (size_t i = 0; i < pairs.size(); ++i) {
-        if (counts[i] >= min_count) {
-          lk.push_back(pairs[i]);
-          result.frequent.push_back({pairs[i], counts[i]});
-        }
+        lk.push_back(Itemset{item});
+        result.frequent.push_back({lk.back(), counts[item]});
       }
     }
     pass.num_frequent = lk.size();
     stats.total_candidates += pass.num_candidates;
     stats.per_pass.push_back(pass);
     if (options.verbose) {
-      PINCER_LOG(kInfo) << "apriori pass 2: " << lk.size() << "/"
-                        << pass.num_candidates << " pairs frequent";
+      PINCER_LOG(kInfo) << "apriori pass 1: " << lk.size() << "/"
+                        << db.num_items() << " items frequent";
     }
+    k = 2;
+    emit_checkpoint(2);
+  }
+
+  // ---- Pass 2: 2-itemsets via the triangular array (no generation step).
+  if (k == 2) {
+    if (lk.size() >= 2) {
+      PassStats pass;
+      pass.pass = 2;
+      std::vector<ItemId> frequent_items;
+      frequent_items.reserve(lk.size());
+      for (const Itemset& single : lk) frequent_items.push_back(single[0]);
+      pass.num_candidates = lk.size() * (lk.size() - 1) / 2;
+
+      std::vector<Itemset> l2;
+      if (options.use_array_fast_path) {
+        PairCountMatrix matrix(frequent_items);
+        {
+          ScopedMsTimer count_timer(pass.counting_ms);
+          matrix.CountDatabase(db, &pool, scan_budget);
+        }
+        if (scan_budget != nullptr && scan_budget->exceeded()) {
+          stats.aborted = true;
+          finish();
+          return result;
+        }
+        for (size_t i = 0; i < frequent_items.size(); ++i) {
+          for (size_t j = i + 1; j < frequent_items.size(); ++j) {
+            const uint64_t count =
+                matrix.PairCount(frequent_items[i], frequent_items[j]);
+            if (count >= min_count) {
+              l2.push_back(Itemset{frequent_items[i], frequent_items[j]});
+              result.frequent.push_back({l2.back(), count});
+            }
+          }
+        }
+      } else {
+        std::vector<Itemset> pairs;
+        pairs.reserve(pass.num_candidates);
+        for (size_t i = 0; i < frequent_items.size(); ++i) {
+          for (size_t j = i + 1; j < frequent_items.size(); ++j) {
+            pairs.push_back(Itemset{frequent_items[i], frequent_items[j]});
+          }
+        }
+        std::vector<uint64_t> counts;
+        {
+          ScopedMsTimer count_timer(pass.counting_ms);
+          counts = counter->CountSupports(pairs);
+        }
+        if (scan_budget != nullptr && scan_budget->exceeded()) {
+          stats.aborted = true;
+          finish();
+          return result;
+        }
+        for (size_t i = 0; i < pairs.size(); ++i) {
+          if (counts[i] >= min_count) {
+            l2.push_back(pairs[i]);
+            result.frequent.push_back({pairs[i], counts[i]});
+          }
+        }
+      }
+      ++stats.passes;
+      pass.num_frequent = l2.size();
+      stats.total_candidates += pass.num_candidates;
+      stats.per_pass.push_back(pass);
+      if (options.verbose) {
+        PINCER_LOG(kInfo) << "apriori pass 2: " << l2.size() << "/"
+                          << pass.num_candidates << " pairs frequent";
+      }
+      lk = std::move(l2);
+      emit_checkpoint(3);
+    }
+    k = 3;
   }
 
   // ---- Passes k >= 3: Apriori-gen + backend counting.
-  size_t k = 3;
   while (lk.size() >= 2) {
     double gen_ms = 0;
     std::vector<Itemset> candidates;
@@ -162,19 +231,23 @@ FrequentSetResult AprioriMine(const TransactionDatabase& db,
       break;
     }
 
-    ++stats.passes;
     PassStats pass;
     pass.pass = k;
     pass.num_candidates = candidates.size();
     pass.candidate_gen_ms = gen_ms;
-    stats.total_candidates += candidates.size();
-    stats.reported_candidates += candidates.size();
 
     std::vector<uint64_t> counts;
     {
       ScopedMsTimer count_timer(pass.counting_ms);
       counts = counter->CountSupports(candidates);
     }
+    if (scan_budget != nullptr && scan_budget->exceeded()) {
+      stats.aborted = true;
+      break;
+    }
+    ++stats.passes;
+    stats.total_candidates += candidates.size();
+    stats.reported_candidates += candidates.size();
     std::vector<Itemset> next;
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (counts[i] >= min_count) {
@@ -190,11 +263,26 @@ FrequentSetResult AprioriMine(const TransactionDatabase& db,
     }
     lk = std::move(next);
     ++k;
+    emit_checkpoint(k);
   }
 
-  std::sort(result.frequent.begin(), result.frequent.end());
-  stats.elapsed_millis = timer.ElapsedMillis();
+  finish();
   return result;
+}
+
+}  // namespace
+
+FrequentSetResult AprioriMine(const TransactionDatabase& db,
+                              const MiningOptions& options) {
+  return AprioriRun(db, options, /*resume=*/nullptr);
+}
+
+StatusOr<FrequentSetResult> AprioriResume(const TransactionDatabase& db,
+                                          const MiningOptions& options,
+                                          const Checkpoint& checkpoint) {
+  PINCER_RETURN_IF_ERROR(ValidateCheckpointForResume(
+      checkpoint, "apriori", OptionsFingerprint(options, "apriori"), db));
+  return AprioriRun(db, options, &checkpoint);
 }
 
 }  // namespace pincer

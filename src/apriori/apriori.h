@@ -10,9 +10,11 @@
 #include <vector>
 
 #include "data/database.h"
+#include "mining/checkpoint.h"
 #include "mining/frequent_itemset.h"
 #include "mining/mining_stats.h"
 #include "mining/options.h"
+#include "util/statusor.h"
 
 namespace pincer {
 
@@ -33,6 +35,15 @@ struct FrequentSetResult {
 /// Pincer-specific options are ignored.
 FrequentSetResult AprioriMine(const TransactionDatabase& db,
                               const MiningOptions& options);
+
+/// Resumes an Apriori run from a pass-level checkpoint (written by a
+/// previous run's options.checkpoint_sink). The resumed run's frequent set
+/// and cumulative structural stats are bit-identical to the uninterrupted
+/// run's (property-tested). Rejects a checkpoint whose algorithm, options
+/// fingerprint, or database shape does not match with InvalidArgument.
+StatusOr<FrequentSetResult> AprioriResume(const TransactionDatabase& db,
+                                          const MiningOptions& options,
+                                          const Checkpoint& checkpoint);
 
 }  // namespace pincer
 

@@ -1,10 +1,13 @@
 #include "apriori/apriori_combined.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "apriori/apriori_gen.h"
 #include "counting/array_counters.h"
 #include "counting/counter_factory.h"
+#include "counting/scan_budget.h"
+#include "mining/checkpoint.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -12,78 +15,158 @@
 
 namespace pincer {
 
-FrequentSetResult AprioriCombinedMine(const TransactionDatabase& db,
-                                      const MiningOptions& options,
-                                      const CombinedPassOptions& combined) {
+namespace {
+
+// Snapshot handed to the checkpoint sink after each completed level. The
+// optimistic next-level counts ride along so a resumed run can consume them
+// without re-reading the database, exactly like the uninterrupted run.
+Checkpoint MakeCheckpoint(
+    const TransactionDatabase& db, const MiningOptions& options,
+    const CombinedPassOptions& combined, const FrequentSetResult& result,
+    const std::vector<Itemset>& lk,
+    const std::vector<std::pair<Itemset, uint64_t>>& precounted,
+    size_t next_level, double elapsed_ms) {
+  Checkpoint checkpoint;
+  checkpoint.algorithm = "apriori-combined";
+  checkpoint.next_pass = next_level;
+  checkpoint.options_fingerprint = OptionsFingerprint(
+      options, "apriori-combined", combined.combine_threshold);
+  checkpoint.database.rows = db.size();
+  checkpoint.database.items = db.num_items();
+  checkpoint.stats = result.stats;
+  checkpoint.stats.elapsed_millis = elapsed_ms;
+  checkpoint.frequent = result.frequent;
+  checkpoint.live_candidates = lk;
+  checkpoint.precounted.reserve(precounted.size());
+  for (const auto& [itemset, count] : precounted) {
+    checkpoint.precounted.push_back({itemset, count});
+  }
+  return checkpoint;
+}
+
+// The shared driver; `resume` null mines from scratch. Level bookkeeping
+// happens only after a level's counting scan completes, so a scan aborted by
+// the time budget leaves no trace of the in-flight level.
+FrequentSetResult AprioriCombinedRun(const TransactionDatabase& db,
+                                     const MiningOptions& options,
+                                     const CombinedPassOptions& combined,
+                                     const Checkpoint* resume) {
   Timer timer;
   FrequentSetResult result;
   MiningStats& stats = result.stats;
   const uint64_t min_count = db.MinSupportCount(options.min_support);
   // One pool per run, shared by the backend and the array fast paths.
   ThreadPool pool(options.num_threads);
-  stats.num_threads = pool.num_threads();
   auto counter = CreateCounter(options.backend, db, &pool);
   if (options.collect_counter_metrics) counter->set_metrics(&stats.counting);
+  std::optional<ScanBudget> budget;
+  if (options.time_budget_ms > 0) budget.emplace(options.time_budget_ms);
+  ScanBudget* scan_budget = budget.has_value() ? &*budget : nullptr;
+  counter->set_scan_budget(scan_budget);
 
-  // Passes 1 and 2 are identical to plain Apriori (array fast paths); reuse
-  // its driver on a clipped problem would re-scan, so inline the two passes.
-  std::vector<Itemset> l1;
-  {
-    ++stats.passes;
+  std::vector<Itemset> lk;
+  std::vector<std::pair<Itemset, uint64_t>> precounted;  // sorted by itemset
+  size_t k = 1;
+  double elapsed_base = 0;
+  bool sink_error_logged = false;
+  if (resume != nullptr) {
+    stats = resume->stats;
+    result.frequent = resume->frequent;
+    lk = resume->live_candidates;
+    precounted.reserve(resume->precounted.size());
+    for (const FrequentItemset& fi : resume->precounted) {
+      precounted.emplace_back(fi.itemset, fi.support);
+    }
+    k = static_cast<size_t>(resume->next_pass);
+    elapsed_base = stats.elapsed_millis;
+  }
+  stats.num_threads = pool.num_threads();
+
+  const auto emit_checkpoint = [&](size_t next_level) {
+    if (!options.checkpoint_sink) return;
+    DeliverCheckpoint(
+        options,
+        MakeCheckpoint(db, options, combined, result, lk, precounted,
+                       next_level, elapsed_base + timer.ElapsedMillis()),
+        sink_error_logged);
+  };
+  const auto finish = [&]() {
+    std::sort(result.frequent.begin(), result.frequent.end());
+    stats.elapsed_millis = elapsed_base + timer.ElapsedMillis();
+  };
+
+  // Passes 1 and 2 are identical to plain Apriori (array fast paths).
+  if (k <= 1) {
     PassStats pass;
     pass.pass = 1;
     pass.num_candidates = db.num_items();
     std::vector<uint64_t> counts;
     {
       ScopedMsTimer count_timer(pass.counting_ms);
-      counts = CountSingletons(db, &pool);
+      counts = CountSingletons(db, &pool, scan_budget);
     }
+    if (scan_budget != nullptr && scan_budget->exceeded()) {
+      stats.aborted = true;
+      finish();
+      return result;
+    }
+    ++stats.passes;
     for (ItemId item = 0; item < db.num_items(); ++item) {
       if (counts[item] >= min_count) {
-        l1.push_back(Itemset{item});
-        result.frequent.push_back({l1.back(), counts[item]});
-      }
-    }
-    pass.num_frequent = l1.size();
-    stats.total_candidates += pass.num_candidates;
-    stats.per_pass.push_back(pass);
-  }
-
-  std::vector<Itemset> lk;
-  if (l1.size() >= 2) {
-    ++stats.passes;
-    PassStats pass;
-    pass.pass = 2;
-    std::vector<ItemId> frequent_items;
-    frequent_items.reserve(l1.size());
-    for (const Itemset& single : l1) frequent_items.push_back(single[0]);
-    pass.num_candidates = l1.size() * (l1.size() - 1) / 2;
-    PairCountMatrix matrix(frequent_items);
-    {
-      ScopedMsTimer count_timer(pass.counting_ms);
-      matrix.CountDatabase(db, &pool);
-    }
-    for (size_t i = 0; i < frequent_items.size(); ++i) {
-      for (size_t j = i + 1; j < frequent_items.size(); ++j) {
-        const uint64_t count =
-            matrix.PairCount(frequent_items[i], frequent_items[j]);
-        if (count >= min_count) {
-          lk.push_back(Itemset{frequent_items[i], frequent_items[j]});
-          result.frequent.push_back({lk.back(), count});
-        }
+        lk.push_back(Itemset{item});
+        result.frequent.push_back({lk.back(), counts[item]});
       }
     }
     pass.num_frequent = lk.size();
     stats.total_candidates += pass.num_candidates;
     stats.per_pass.push_back(pass);
+    k = 2;
+    emit_checkpoint(2);
   }
 
-  // Passes >= 3, combining two levels per pass when C_k is small. When the
+  if (k == 2) {
+    if (lk.size() >= 2) {
+      PassStats pass;
+      pass.pass = 2;
+      std::vector<ItemId> frequent_items;
+      frequent_items.reserve(lk.size());
+      for (const Itemset& single : lk) frequent_items.push_back(single[0]);
+      pass.num_candidates = lk.size() * (lk.size() - 1) / 2;
+      PairCountMatrix matrix(frequent_items);
+      {
+        ScopedMsTimer count_timer(pass.counting_ms);
+        matrix.CountDatabase(db, &pool, scan_budget);
+      }
+      if (scan_budget != nullptr && scan_budget->exceeded()) {
+        stats.aborted = true;
+        finish();
+        return result;
+      }
+      ++stats.passes;
+      std::vector<Itemset> l2;
+      for (size_t i = 0; i < frequent_items.size(); ++i) {
+        for (size_t j = i + 1; j < frequent_items.size(); ++j) {
+          const uint64_t count =
+              matrix.PairCount(frequent_items[i], frequent_items[j]);
+          if (count >= min_count) {
+            l2.push_back(Itemset{frequent_items[i], frequent_items[j]});
+            result.frequent.push_back({l2.back(), count});
+          }
+        }
+      }
+      pass.num_frequent = l2.size();
+      stats.total_candidates += pass.num_candidates;
+      stats.per_pass.push_back(pass);
+      lk = std::move(l2);
+      emit_checkpoint(3);
+    }
+    k = 3;
+  }
+
+  // Levels >= 3, combining two levels per pass when C_k is small. When the
   // previous pass already counted this level optimistically, the counts are
   // consumed without a new database read.
-  size_t k = 3;
-  std::vector<std::pair<Itemset, uint64_t>> precounted;  // sorted by itemset
-  while (true) {
+  while (lk.size() >= 2) {
     if (options.time_budget_ms > 0 &&
         timer.ElapsedMillis() > options.time_budget_ms) {
       stats.aborted = true;
@@ -138,19 +221,26 @@ FrequentSetResult AprioriCombinedMine(const TransactionDatabase& db,
                      std::make_move_iterator(optimistic.end()));
       }
 
+      std::vector<uint64_t> batch_counts;
+      double counting_ms = 0;
+      {
+        ScopedMsTimer count_timer(counting_ms);
+        batch_counts = counter->CountSupports(batch);
+      }
+      if (scan_budget != nullptr && scan_budget->exceeded()) {
+        stats.aborted = true;
+        break;
+      }
+
       ++stats.passes;
       PassStats pass;
       pass.pass = k;
       pass.num_candidates = batch.size();
       pass.candidate_gen_ms = gen_ms;
+      pass.counting_ms = counting_ms;
       stats.total_candidates += batch.size();
       stats.reported_candidates += batch.size();
 
-      std::vector<uint64_t> batch_counts;
-      {
-        ScopedMsTimer count_timer(pass.counting_ms);
-        batch_counts = counter->CountSupports(batch);
-      }
       for (size_t i = 0; i < candidates.size(); ++i) {
         counts[i] = batch_counts[i];
       }
@@ -181,12 +271,31 @@ FrequentSetResult AprioriCombinedMine(const TransactionDatabase& db,
     }
     lk = std::move(next);
     ++k;
+    emit_checkpoint(k);
     if (lk.size() < 2) break;
   }
 
-  std::sort(result.frequent.begin(), result.frequent.end());
-  stats.elapsed_millis = timer.ElapsedMillis();
+  finish();
   return result;
+}
+
+}  // namespace
+
+FrequentSetResult AprioriCombinedMine(const TransactionDatabase& db,
+                                      const MiningOptions& options,
+                                      const CombinedPassOptions& combined) {
+  return AprioriCombinedRun(db, options, combined, /*resume=*/nullptr);
+}
+
+StatusOr<FrequentSetResult> AprioriCombinedResume(
+    const TransactionDatabase& db, const MiningOptions& options,
+    const Checkpoint& checkpoint, const CombinedPassOptions& combined) {
+  PINCER_RETURN_IF_ERROR(ValidateCheckpointForResume(
+      checkpoint, "apriori-combined",
+      OptionsFingerprint(options, "apriori-combined",
+                         combined.combine_threshold),
+      db));
+  return AprioriCombinedRun(db, options, combined, &checkpoint);
 }
 
 }  // namespace pincer

@@ -30,6 +30,15 @@ FrequentSetResult AprioriCombinedMine(const TransactionDatabase& db,
                                       const CombinedPassOptions& combined =
                                           CombinedPassOptions());
 
+/// Resumes a combined-pass run from a level checkpoint (which carries the
+/// optimistically pre-counted next level, so no pass is repeated). Same
+/// staleness rules as AprioriResume; combine_threshold participates in the
+/// options fingerprint because it changes the pass structure.
+StatusOr<FrequentSetResult> AprioriCombinedResume(
+    const TransactionDatabase& db, const MiningOptions& options,
+    const Checkpoint& checkpoint,
+    const CombinedPassOptions& combined = CombinedPassOptions());
+
 }  // namespace pincer
 
 #endif  // PINCER_APRIORI_APRIORI_COMBINED_H_

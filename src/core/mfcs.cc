@@ -24,6 +24,14 @@ Mfcs::Mfcs(const std::vector<Itemset>& elements) : universe_(0) {
   }
 }
 
+Mfcs::Mfcs(size_t num_items, const std::vector<Itemset>& elements)
+    : universe_(num_items) {
+  for (const Itemset& element : elements) {
+    items_.push_back(element);
+    bits_.push_back(BitsOf(element));
+  }
+}
+
 DynamicBitset Mfcs::BitsOf(const Itemset& itemset) const {
   DynamicBitset bits(universe_);
   for (ItemId item : itemset) bits.Set(item);

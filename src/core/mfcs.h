@@ -36,6 +36,12 @@ class Mfcs {
   /// universe is sized to the largest item id present.
   explicit Mfcs(const std::vector<Itemset>& elements);
 
+  /// Restores a snapshot: universe of `num_items`, elements exactly as
+  /// given, in the given order (element order affects nothing semantic but
+  /// keeps resumed runs bit-identical to uninterrupted ones). The elements
+  /// are trusted to be pairwise incomparable — they came from elements().
+  Mfcs(size_t num_items, const std::vector<Itemset>& elements);
+
   /// The MFCS-gen algorithm: for each infrequent itemset s, every element m
   /// with s ⊆ m is replaced by the |s| itemsets m \ {e} (e ∈ s), each kept
   /// only if it is not covered by another element of MFCS or by an element

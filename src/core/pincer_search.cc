@@ -11,7 +11,9 @@
 #include "itemset/itemset_ops.h"
 #include "counting/array_counters.h"
 #include "counting/counter_factory.h"
+#include "counting/scan_budget.h"
 #include "itemset/itemset_set.h"
+#include "mining/checkpoint.h"
 #include "util/logging.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
@@ -48,6 +50,10 @@ class PincerDriver {
   }
 
   MaximalSetResult Run();
+
+  // Restores mid-run state from a (validated) checkpoint; Run() then starts
+  // at its next_pass. InvalidArgument on any staleness mismatch.
+  Status Restore(const Checkpoint& checkpoint);
 
  private:
   using SupportCache = std::unordered_map<Itemset, uint64_t, ItemsetHash>;
@@ -127,6 +133,20 @@ class PincerDriver {
 
   bool IsFrequentCount(uint64_t count) const { return count >= min_count_; }
 
+  // Latches the mid-scan time-budget abort: once a counting scan expires,
+  // the in-flight pass is discarded and the run stops. The pass functions
+  // call this right after every counting block, before using the counts.
+  bool ScanAborted() {
+    if (budget_.has_value() && budget_->exceeded()) scan_aborted_ = true;
+    return scan_aborted_;
+  }
+
+  // Hands the sink a snapshot for resuming at `next_pass` with live
+  // candidates `lk`. `elapsed_ms` is the cumulative wall clock (checkpoint
+  // base + this run so far).
+  void EmitCheckpoint(size_t next_pass, const std::vector<Itemset>& lk,
+                      double elapsed_ms);
+
   const TransactionDatabase& db_;
   const MiningOptions& options_;
   const uint64_t min_count_;
@@ -153,6 +173,15 @@ class PincerDriver {
   // makes the adaptive variant correct after MFCS maintenance stops.
   std::vector<FrequentItemset> bottom_up_frequent_;
   MiningStats stats_;
+
+  // Mid-scan budget (engaged by Run when options.time_budget_ms > 0).
+  std::optional<ScanBudget> budget_;
+  bool scan_aborted_ = false;
+  // Resume state (0 = fresh run). Set by Restore, consumed by Run.
+  size_t resume_next_pass_ = 0;
+  std::vector<Itemset> resume_live_candidates_;
+  double elapsed_base_ = 0;
+  bool sink_error_logged_ = false;
 };
 
 void PincerDriver::RecordCount(const Itemset& itemset, uint64_t count,
@@ -271,16 +300,19 @@ void PincerDriver::CountAndClassifyMfcs(PassStats& pass) {
   std::vector<Itemset> elements = mfcs_.elements();
   if (elements.empty()) return;
 
-  pass.num_mfcs_candidates = elements.size();
-  stats_.mfcs_candidates += elements.size();
-  stats_.reported_candidates += elements.size();
-  stats_.total_candidates += elements.size();
-
   std::vector<uint64_t> counts;
   {
     ScopedMsTimer timer(pass.counting_ms);
     counts = counter_->CountSupports(elements);
   }
+  // Tallies and classification only after a completed scan: an aborted scan
+  // returns partial counts, which must leave no trace.
+  if (ScanAborted()) return;
+  pass.num_mfcs_candidates = elements.size();
+  stats_.mfcs_candidates += elements.size();
+  stats_.reported_candidates += elements.size();
+  stats_.total_candidates += elements.size();
+
   std::vector<Itemset> infrequent;
   for (size_t i = 0; i < elements.size(); ++i) {
     cache_.emplace(elements[i], counts[i]);
@@ -298,16 +330,16 @@ void PincerDriver::CountAndClassifyMfcs(PassStats& pass) {
 }
 
 std::vector<Itemset> PincerDriver::PassOne() {
-  ++stats_.passes;
   PassStats pass;
   pass.pass = 1;
   pass.num_candidates = db_.num_items();
-  stats_.total_candidates += db_.num_items();
 
   {
     ScopedMsTimer timer(pass.counting_ms);
     if (options_.use_array_fast_path) {
-      singleton_counts_ = CountSingletons(db_, pool_.get());
+      singleton_counts_ = CountSingletons(db_, pool_.get(),
+                                          budget_.has_value() ? &*budget_
+                                                              : nullptr);
     } else {
       std::vector<Itemset> singles;
       singles.reserve(db_.num_items());
@@ -317,6 +349,8 @@ std::vector<Itemset> PincerDriver::PassOne() {
       singleton_counts_ = counter_->CountSupports(singles);
     }
   }
+  if (ScanAborted()) return {};
+  stats_.total_candidates += db_.num_items();
 
   std::vector<Itemset> infrequent;
   std::vector<Itemset> frequent;
@@ -335,6 +369,7 @@ std::vector<Itemset> PincerDriver::PassOne() {
   // Count the MFCS (initially the full itemset) in the same pass, as the
   // paper's line 6 does, then fold the infrequent singletons into MFCS-gen.
   CountAndClassifyMfcs(pass);
+  if (ScanAborted()) return {};
   {
     ScopedMsTimer timer(pass.mfcs_update_ms);
     UpdateMfcs(infrequent, 1, pass.num_frequent);
@@ -350,6 +385,7 @@ std::vector<Itemset> PincerDriver::PassOne() {
   } else {
     l1 = AugmentWithMfsSubsets(std::move(frequent), 1);
   }
+  ++stats_.passes;
   pass.mfcs_size_after = mfcs_.size();
   stats_.per_pass.push_back(pass);
   if (options_.verbose) {
@@ -362,9 +398,9 @@ std::vector<Itemset> PincerDriver::PassOne() {
 
 std::vector<Itemset> PincerDriver::PassTwo(
     const std::vector<ItemId>& frequent_items) {
-  ++stats_.passes;
   PassStats pass;
   pass.pass = 2;
+  ScanBudget* scan_budget = budget_.has_value() ? &*budget_ : nullptr;
 
   // C_2 is conceptually every pair of frequent items not already covered by
   // an MFS element (§4.1.1: the 2-D array makes explicit generation
@@ -408,8 +444,9 @@ std::vector<Itemset> PincerDriver::PassTwo(
     pair_matrix_.emplace(frequent_items);
     {
       ScopedMsTimer timer(pass.counting_ms);
-      pair_matrix_->CountDatabase(db_, pool_.get());
+      pair_matrix_->CountDatabase(db_, pool_.get(), scan_budget);
     }
+    if (ScanAborted()) return {};
     {
       size_t num_frequent_pairs = 0;
       size_t num_infrequent_pairs = 0;
@@ -446,6 +483,7 @@ std::vector<Itemset> PincerDriver::PassTwo(
       ScopedMsTimer timer(pass.counting_ms);
       counts = counter_->CountSupports(pairs);
     }
+    if (ScanAborted()) return {};
     // Same §3.5 pre-check as the array path: classify the raw counts first
     // so a huge infrequent batch disables MFCS maintenance *before*
     // classify_pair materializes one Itemset per infrequent pair.
@@ -470,9 +508,10 @@ std::vector<Itemset> PincerDriver::PassTwo(
           ? 0
           : frequent_items.size() * (frequent_items.size() - 1) / 2;
   pass.num_candidates = num_pairs;
-  stats_.total_candidates += num_pairs;
 
   CountAndClassifyMfcs(pass);
+  if (ScanAborted()) return {};
+  stats_.total_candidates += num_pairs;
   {
     ScopedMsTimer timer(pass.mfcs_update_ms);
     UpdateMfcs(infrequent, 2, pass.num_frequent);
@@ -491,6 +530,7 @@ std::vector<Itemset> PincerDriver::PassTwo(
     l2 = AugmentWithMfsSubsets(std::move(l2), 2);
   }
 
+  ++stats_.passes;
   pass.mfcs_size_after = mfcs_.size();
   stats_.per_pass.push_back(pass);
   if (options_.verbose) {
@@ -504,13 +544,10 @@ std::vector<Itemset> PincerDriver::PassTwo(
 std::vector<Itemset> PincerDriver::PassK(size_t k,
                                          const std::vector<Itemset>& candidates,
                                          double gen_ms) {
-  ++stats_.passes;
   PassStats pass;
   pass.pass = k;
   pass.num_candidates = candidates.size();
   pass.candidate_gen_ms = gen_ms;
-  stats_.total_candidates += candidates.size();
-  stats_.reported_candidates += candidates.size();
 
   std::vector<Itemset> lk;
   std::vector<Itemset> infrequent;
@@ -520,6 +557,9 @@ std::vector<Itemset> PincerDriver::PassK(size_t k,
       ScopedMsTimer timer(pass.counting_ms);
       counts = counter_->CountSupports(candidates);
     }
+    if (ScanAborted()) return {};
+    stats_.total_candidates += candidates.size();
+    stats_.reported_candidates += candidates.size();
     for (size_t i = 0; i < candidates.size(); ++i) {
       RecordCount(candidates[i], counts[i], /*covered=*/false);
       if (IsFrequentCount(counts[i])) {
@@ -532,6 +572,7 @@ std::vector<Itemset> PincerDriver::PassK(size_t k,
   }
 
   CountAndClassifyMfcs(pass);
+  if (ScanAborted()) return {};
   {
     ScopedMsTimer timer(pass.mfcs_update_ms);
     UpdateMfcs(infrequent, k, pass.num_frequent);
@@ -548,6 +589,7 @@ std::vector<Itemset> PincerDriver::PassK(size_t k,
     lk = AugmentWithMfsSubsets(std::move(lk), k);
   }
 
+  ++stats_.passes;
   pass.mfcs_size_after = mfcs_.size();
   stats_.per_pass.push_back(pass);
   if (options_.verbose) {
@@ -559,25 +601,115 @@ std::vector<Itemset> PincerDriver::PassK(size_t k,
   return lk;
 }
 
+void PincerDriver::EmitCheckpoint(size_t next_pass,
+                                  const std::vector<Itemset>& lk,
+                                  double elapsed_ms) {
+  if (!options_.checkpoint_sink) return;
+  Checkpoint checkpoint;
+  checkpoint.algorithm = "pincer";
+  checkpoint.next_pass = next_pass;
+  checkpoint.options_fingerprint = OptionsFingerprint(options_, "pincer");
+  checkpoint.database.rows = db_.size();
+  checkpoint.database.items = db_.num_items();
+  checkpoint.stats = stats_;
+  checkpoint.stats.elapsed_millis = elapsed_ms;
+  checkpoint.frequent = bottom_up_frequent_;
+  checkpoint.live_candidates = lk;
+  checkpoint.mfs = mfs_.elements();
+  checkpoint.mfcs = mfcs_.elements();
+  checkpoint.support_cache.reserve(cache_.size());
+  for (const auto& [itemset, count] : cache_) {
+    checkpoint.support_cache.push_back({itemset, count});
+  }
+  // The cache is an unordered map; sort for deterministic serialization.
+  std::sort(checkpoint.support_cache.begin(), checkpoint.support_cache.end());
+  checkpoint.singleton_counts = singleton_counts_;
+  if (pair_matrix_.has_value()) {
+    checkpoint.pair_items = pair_matrix_->frequent_items();
+    checkpoint.pair_counts = pair_matrix_->raw_counts();
+  }
+  DeliverCheckpoint(options_, checkpoint, sink_error_logged_);
+}
+
+Status PincerDriver::Restore(const Checkpoint& checkpoint) {
+  PINCER_RETURN_IF_ERROR(ValidateCheckpointForResume(
+      checkpoint, "pincer", OptionsFingerprint(options_, "pincer"), db_));
+  stats_ = checkpoint.stats;
+  stats_.num_threads = pool_->num_threads();
+  maintain_mfcs_ = !stats_.mfcs_disabled;
+  current_pass_ = static_cast<size_t>(checkpoint.next_pass);
+  bottom_up_frequent_ = checkpoint.frequent;
+  for (const FrequentItemset& fi : checkpoint.mfs) {
+    mfs_.Add(fi.itemset, fi.support);
+  }
+  // Elements are restored in serialized (insertion) order, keeping the
+  // resumed run's MFCS-gen behaviour identical to the uninterrupted run's.
+  mfcs_ = Mfcs(db_.num_items(), checkpoint.mfcs);
+  for (const FrequentItemset& fi : checkpoint.support_cache) {
+    cache_.emplace(fi.itemset, fi.support);
+  }
+  singleton_counts_ = checkpoint.singleton_counts;
+  if (!checkpoint.pair_items.empty()) {
+    pair_matrix_.emplace(checkpoint.pair_items);
+    if (!pair_matrix_->RestoreCounts(checkpoint.pair_counts)) {
+      return Status::InvalidArgument(
+          "checkpoint pair_counts does not match pair_items (expected " +
+          std::to_string(pair_matrix_->raw_counts().size()) + " counts, got " +
+          std::to_string(checkpoint.pair_counts.size()) + ")");
+    }
+  }
+  resume_next_pass_ = static_cast<size_t>(checkpoint.next_pass);
+  resume_live_candidates_ = checkpoint.live_candidates;
+  return Status::OK();
+}
+
 MaximalSetResult PincerDriver::Run() {
   Timer timer;
-
-  std::vector<Itemset> l1 = PassOne();
-  std::vector<ItemId> frequent_items;
-  frequent_items.reserve(l1.size());
-  for (const Itemset& single : l1) frequent_items.push_back(single[0]);
-
-  std::vector<Itemset> lk;
-  if (frequent_items.size() >= 2 || (maintain_mfcs_ && !mfcs_.empty())) {
-    lk = PassTwo(frequent_items);
+  elapsed_base_ = stats_.elapsed_millis;
+  if (options_.time_budget_ms > 0) {
+    budget_.emplace(options_.time_budget_ms);
+    counter_->set_scan_budget(&*budget_);
   }
 
+  std::vector<Itemset> lk;
   size_t k = 3;
+  bool run_pass_two = false;
+  if (resume_next_pass_ == 0) {
+    std::vector<Itemset> l1 = PassOne();
+    if (!scan_aborted_) {
+      EmitCheckpoint(2, l1, elapsed_base_ + timer.ElapsedMillis());
+      lk = std::move(l1);
+      run_pass_two = true;
+    }
+  } else if (resume_next_pass_ == 2) {
+    lk = std::move(resume_live_candidates_);
+    run_pass_two = true;
+  } else {
+    lk = std::move(resume_live_candidates_);
+    k = resume_next_pass_;
+  }
+
+  if (run_pass_two && !scan_aborted_) {
+    // `lk` currently holds L_1.
+    std::vector<ItemId> frequent_items;
+    frequent_items.reserve(lk.size());
+    for (const Itemset& single : lk) frequent_items.push_back(single[0]);
+    if (frequent_items.size() >= 2 || (maintain_mfcs_ && !mfcs_.empty())) {
+      std::vector<Itemset> l2 = PassTwo(frequent_items);
+      if (!scan_aborted_) {
+        lk = std::move(l2);
+        EmitCheckpoint(3, lk, elapsed_base_ + timer.ElapsedMillis());
+      }
+    } else {
+      lk.clear();
+    }
+  }
+
   // Generalized termination (DESIGN.md item 3): continue while there are
   // bottom-up candidates or live MFCS elements to classify.
   const size_t max_passes =
       options_.max_passes > 0 ? options_.max_passes : db_.num_items() + 2;
-  while (k <= max_passes) {
+  while (!scan_aborted_ && k <= max_passes) {
     // With a live MFCS, generation is join + recovery + new prune; after
     // the adaptive switch-off it is plain Apriori-gen over the complete L_k.
     double gen_ms = 0;
@@ -596,8 +728,11 @@ MaximalSetResult PincerDriver::Run() {
       break;
     }
     lk = PassK(k, candidates, gen_ms);
+    if (scan_aborted_) break;
     ++k;
+    EmitCheckpoint(k, lk, elapsed_base_ + timer.ElapsedMillis());
   }
+  if (scan_aborted_) stats_.aborted = true;
   // Leaving the loop at the pass cap with live MFCS elements means those
   // elements were never classified: the run is truncated, and must say so —
   // otherwise the stats JSON cannot distinguish it from a complete run.
@@ -620,7 +755,7 @@ MaximalSetResult PincerDriver::Run() {
   MaximalSetResult result;
   result.mfs = mfs_.Sorted();
   result.stats = std::move(stats_);
-  result.stats.elapsed_millis = timer.ElapsedMillis();
+  result.stats.elapsed_millis = elapsed_base_ + timer.ElapsedMillis();
   return result;
 }
 
@@ -629,6 +764,14 @@ MaximalSetResult PincerDriver::Run() {
 MaximalSetResult PincerSearch(const TransactionDatabase& db,
                               const MiningOptions& options) {
   PincerDriver driver(db, options);
+  return driver.Run();
+}
+
+StatusOr<MaximalSetResult> PincerResume(const TransactionDatabase& db,
+                                        const MiningOptions& options,
+                                        const Checkpoint& checkpoint) {
+  PincerDriver driver(db, options);
+  PINCER_RETURN_IF_ERROR(driver.Restore(checkpoint));
   return driver.Run();
 }
 

@@ -11,9 +11,11 @@
 #include <vector>
 
 #include "data/database.h"
+#include "mining/checkpoint.h"
 #include "mining/frequent_itemset.h"
 #include "mining/mining_stats.h"
 #include "mining/options.h"
+#include "util/statusor.h"
 
 namespace pincer {
 
@@ -36,6 +38,17 @@ struct MaximalSetResult {
 /// grows past the limit and extracts maximality bottom-up instead.
 MaximalSetResult PincerSearch(const TransactionDatabase& db,
                               const MiningOptions& options);
+
+/// Resumes a Pincer-Search run from a pass-level checkpoint (written by a
+/// previous run's options.checkpoint_sink). The resumed run's MFS, supports,
+/// and cumulative structural stats are bit-identical to the uninterrupted
+/// run's (property-tested). Rejects a checkpoint whose algorithm, options
+/// fingerprint, or database shape does not match with InvalidArgument. Both
+/// the pure and adaptive variants resume through this entry point — the
+/// distinction lives in the options (and therefore in the fingerprint).
+StatusOr<MaximalSetResult> PincerResume(const TransactionDatabase& db,
+                                        const MiningOptions& options,
+                                        const Checkpoint& checkpoint);
 
 }  // namespace pincer
 

@@ -7,7 +7,7 @@
 namespace pincer {
 
 std::vector<uint64_t> CountSingletons(const TransactionDatabase& db,
-                                      ThreadPool* pool) {
+                                      ThreadPool* pool, ScanBudget* budget) {
   std::vector<uint64_t> counts(db.num_items(), 0);
   ChunkedCountScan(pool, db.size(), counts,
                    [&db](size_t /*chunk*/, size_t begin, size_t end,
@@ -17,7 +17,8 @@ std::vector<uint64_t> CountSingletons(const TransactionDatabase& db,
                          ++partial[item];
                        }
                      }
-                   });
+                   },
+                   budget);
   return counts;
 }
 
@@ -43,7 +44,7 @@ size_t PairCountMatrix::TriIndex(size_t r1, size_t r2) const {
 }
 
 void PairCountMatrix::CountDatabase(const TransactionDatabase& db,
-                                    ThreadPool* pool) {
+                                    ThreadPool* pool, ScanBudget* budget) {
   ChunkedCountScan(
       pool, db.size(), counts_,
       [&](size_t /*chunk*/, size_t begin, size_t end,
@@ -64,7 +65,8 @@ void PairCountMatrix::CountDatabase(const TransactionDatabase& db,
             }
           }
         }
-      });
+      },
+      budget);
 }
 
 std::optional<uint64_t> PairCountMatrix::TryPairCount(ItemId a, ItemId b) const {

@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "counting/scan_budget.h"
 #include "data/database.h"
 #include "itemset/item.h"
 #include "util/thread_pool.h"
@@ -20,8 +21,11 @@ namespace pincer {
 /// indexed by item id. With a pool, the scan is split into per-worker
 /// chunks whose private count arrays are merged in worker order — counts
 /// are bit-identical to the serial scan. Null pool = serial.
+/// A non-null `budget` is polled mid-scan (see scan_budget.h); when it
+/// expires the returned counts are partial and must be discarded.
 std::vector<uint64_t> CountSingletons(const TransactionDatabase& db,
-                                      ThreadPool* pool = nullptr);
+                                      ThreadPool* pool = nullptr,
+                                      ScanBudget* budget = nullptr);
 
 /// Triangular pair-count matrix over a set of frequent items (pass 2). Item
 /// ids are first remapped to dense ranks; only pairs of frequent items are
@@ -36,7 +40,10 @@ class PairCountMatrix {
   /// per-worker triangular arrays merged in worker order (each worker's
   /// array is the size of counts_, so memory scales with the pool size);
   /// counts are bit-identical to the serial scan. Null pool = serial.
-  void CountDatabase(const TransactionDatabase& db, ThreadPool* pool = nullptr);
+  /// A non-null `budget` is polled mid-scan; when it expires the matrix
+  /// holds partial counts and must be discarded.
+  void CountDatabase(const TransactionDatabase& db, ThreadPool* pool = nullptr,
+                     ScanBudget* budget = nullptr);
 
   /// Support count of the pair {a, b}. Both must be frequent items given at
   /// construction; a != b.
@@ -47,6 +54,19 @@ class PairCountMatrix {
   std::optional<uint64_t> TryPairCount(ItemId a, ItemId b) const;
 
   const std::vector<ItemId>& frequent_items() const { return items_; }
+
+  /// The packed upper-triangle counts, row-major by rank, as filled by
+  /// CountDatabase. Exposed for checkpointing.
+  const std::vector<uint64_t>& raw_counts() const { return counts_; }
+
+  /// Restores counts captured from raw_counts() on a matrix built over the
+  /// same frequent_items. Returns false (leaving the matrix unchanged) on a
+  /// size mismatch.
+  bool RestoreCounts(std::vector<uint64_t> counts) {
+    if (counts.size() != counts_.size()) return false;
+    counts_ = std::move(counts);
+    return true;
+  }
 
  private:
   // Index into the packed upper triangle for ranks r1 < r2.

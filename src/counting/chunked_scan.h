@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "counting/scan_budget.h"
 #include "util/thread_pool.h"
 
 namespace pincer {
@@ -36,14 +37,37 @@ inline size_t ScanChunks(const ThreadPool* pool, size_t num_rows) {
 /// add, chunk 0 first). The serial case (one chunk) scans directly into
 /// `counts` with no copy. `scan` must only read shared state and write its
 /// own `partial`, which arrives zero-initialized at counts.size().
+///
+/// With a non-null `budget`, each chunk is walked in kScanAbortCheckRows
+/// sub-slices and the budget is polled between slices: once exceeded, every
+/// worker stops at its next poll and `counts` is left partial — the caller
+/// must test budget->exceeded() and discard the counts when set. A chunk
+/// always scans its first sub-slice before polling, so scans smaller than
+/// one slice are never cut short.
 inline void ChunkedCountScan(
     ThreadPool* pool, size_t num_rows, std::vector<uint64_t>& counts,
     const std::function<void(size_t chunk, size_t begin, size_t end,
-                             std::vector<uint64_t>& partial)>& scan) {
+                             std::vector<uint64_t>& partial)>& scan,
+    ScanBudget* budget = nullptr) {
   if (num_rows == 0) return;
+  const auto scan_range = [&scan, budget](size_t chunk, size_t begin,
+                                          size_t end,
+                                          std::vector<uint64_t>& out) {
+    if (budget == nullptr) {
+      scan(chunk, begin, end, out);
+      return;
+    }
+    for (size_t slice = begin; slice < end; slice += kScanAbortCheckRows) {
+      if (slice > begin && budget->Check()) return;
+      const size_t slice_end = slice + kScanAbortCheckRows < end
+                                   ? slice + kScanAbortCheckRows
+                                   : end;
+      scan(chunk, slice, slice_end, out);
+    }
+  };
   const size_t chunks = ScanChunks(pool, num_rows);
   if (chunks <= 1) {
-    scan(0, 0, num_rows, counts);
+    scan_range(0, 0, num_rows, counts);
     return;
   }
   std::vector<std::vector<uint64_t>> partials(
@@ -54,7 +78,7 @@ inline void ChunkedCountScan(
     const size_t end = begin + rows_per_chunk < num_rows
                            ? begin + rows_per_chunk
                            : num_rows;
-    scan(chunk, begin, end, partials[chunk]);
+    scan_range(chunk, begin, end, partials[chunk]);
   });
   for (size_t chunk = 0; chunk < chunks; ++chunk) {
     const std::vector<uint64_t>& partial = partials[chunk];

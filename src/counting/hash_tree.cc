@@ -174,7 +174,8 @@ std::vector<uint64_t> HashTreeCounter::CountSupports(
             tree_list[t]->CountTransaction(transaction, partial, states[t]);
           }
         }
-      });
+      },
+      budget_);
   return counts;
 }
 

@@ -51,7 +51,8 @@ std::vector<uint64_t> LinearCounter::CountSupports(
             if (contained) ++partial[c];
           }
         }
-      });
+      },
+      budget_);
   return counts;
 }
 

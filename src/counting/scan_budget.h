@@ -1,0 +1,61 @@
+// Cooperative mid-scan abort for the time budget. The miners historically
+// checked MiningOptions::time_budget_ms only between passes, so one huge
+// pass could overshoot the budget arbitrarily. A ScanBudget is a deadline
+// the chunked scan driver polls every kScanAbortCheckRows rows; once the
+// deadline passes, the latched `exceeded` flag stops every worker at its
+// next check and the miner discards the (now partial) counts and reports
+// stats.aborted exactly as a between-pass abort would.
+//
+// The check cadence is deliberately coarse: a scan shorter than
+// kScanAbortCheckRows rows never polls the clock mid-scan, so tiny
+// databases complete their passes whole even under an already-expired
+// budget (preserving the "a run that finishes is never marked aborted"
+// semantics), and the steady_clock read amortizes to nothing on big scans.
+
+#ifndef PINCER_COUNTING_SCAN_BUDGET_H_
+#define PINCER_COUNTING_SCAN_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+
+namespace pincer {
+
+/// Rows between deadline polls inside a chunked scan.
+inline constexpr size_t kScanAbortCheckRows = 4096;
+
+/// A shared deadline for the scanning backends. Thread-safe: workers of a
+/// pooled scan poll and latch it concurrently.
+class ScanBudget {
+ public:
+  /// Deadline `budget_ms` milliseconds from now.
+  explicit ScanBudget(double budget_ms)
+      : deadline_(std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(budget_ms))) {}
+
+  /// Polls the clock (cheap once latched) and returns true when the
+  /// deadline has passed. Latches: once true, always true.
+  bool Check() {
+    if (exceeded_.load(std::memory_order_relaxed)) return true;
+    if (std::chrono::steady_clock::now() >= deadline_) {
+      exceeded_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  /// True if any Check() observed the deadline as passed. Does not read the
+  /// clock — a scan that never polled mid-scan reports false even when the
+  /// deadline has passed since.
+  bool exceeded() const { return exceeded_.load(std::memory_order_relaxed); }
+
+ private:
+  std::chrono::steady_clock::time_point deadline_;
+  std::atomic<bool> exceeded_{false};
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_COUNTING_SCAN_BUDGET_H_

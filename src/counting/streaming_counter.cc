@@ -1,23 +1,66 @@
 #include "counting/streaming_counter.h"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <thread>
 
 #include "counting/candidate_trie.h"
 #include "data/transaction.h"
+#include "util/failpoint.h"
 
 namespace pincer {
 
-StreamingCounter::StreamingCounter(std::string path)
-    : path_(std::move(path)) {}
+namespace {
+
+constexpr char kItemsHeaderPrefix[] = "# items:";
+
+// "line L, byte B" where B is the offset of the line's first byte.
+std::string Position(size_t line_number, uint64_t line_offset) {
+  return "line " + std::to_string(line_number) + ", byte " +
+         std::to_string(line_offset);
+}
+
+}  // namespace
+
+StreamingCounter::StreamingCounter(std::string path, StreamingOptions options)
+    : path_(std::move(path)), options_(options) {}
 
 StatusOr<std::vector<uint64_t>> StreamingCounter::CountSupports(
     const std::vector<Itemset>& candidates) {
+  size_t max_attempts = options_.retry.max_attempts;
+  if (max_attempts == 0) max_attempts = 1;
+
+  std::vector<uint64_t> counts;
+  Status last_error;
+  for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      ++retries_;
+      const double backoff = BackoffMs(options_.retry, attempt - 1);
+      if (backoff > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff));
+      }
+    }
+    last_error = CountOnce(candidates, counts);
+    if (last_error.ok()) {
+      rows_skipped_ += last_pass_rows_skipped_;
+      return counts;
+    }
+    if (!IsRetryable(last_error)) break;
+  }
+  return last_error;
+}
+
+Status StreamingCounter::CountOnce(const std::vector<Itemset>& candidates,
+                                   std::vector<uint64_t>& counts) {
+  PINCER_FAILPOINT("streaming.open");
   std::ifstream in(path_);
   if (!in) return Status::IoError("cannot open " + path_);
 
-  std::vector<uint64_t> counts(candidates.size(), 0);
+  counts.assign(candidates.size(), 0);
   CandidateTrie trie;
   size_t num_nonempty = 0;
   for (size_t i = 0; i < candidates.size(); ++i) {
@@ -27,27 +70,86 @@ StatusOr<std::vector<uint64_t>> StreamingCounter::CountSupports(
     }
   }
 
+  // This attempt is one real sequential read of the file — the unit the
+  // paper's I/O cost model charges — so it counts as a pass even if a
+  // later row fails and the attempt is discarded.
   ++passes_;
   last_pass_transactions_ = 0;
+  last_pass_rows_skipped_ = 0;
+
   std::string line;
   size_t line_number = 0;
+  uint64_t byte_offset = 0;        // offset of the current line's first byte
+  size_t declared_items = 0;       // from "# items: N"; 0 = no header seen
   Transaction transaction;
-  while (std::getline(in, line)) {
+  while (true) {
+    PINCER_FAILPOINT("streaming.read");
+    if (!std::getline(in, line)) break;
     ++line_number;
+    const uint64_t line_offset = byte_offset;
+    byte_offset += line.size() + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.rfind(kItemsHeaderPrefix, 0) == 0) {
+      std::istringstream header(line.substr(sizeof(kItemsHeaderPrefix) - 1));
+      long long declared = 0;
+      if (header >> declared && declared > 0) {
+        declared_items = static_cast<size_t>(declared);
+      }
+      continue;
+    }
     if (!line.empty() && line[0] == '#') continue;
+    PINCER_FAILPOINT_ROW("streaming.parse_row", line);
+
     transaction.clear();
+    bool skip_row = false;
     std::istringstream fields(line);
     long long raw = 0;
     while (fields >> raw) {
       if (raw < 0) {
-        return Status::InvalidArgument("negative item id at line " +
-                                       std::to_string(line_number));
+        if (options_.malformed_rows == MalformedRowPolicy::kSkipAndCount) {
+          skip_row = true;
+          break;
+        }
+        return Status::InvalidArgument(
+            "negative item id at " + Position(line_number, line_offset) +
+            " of " + path_);
       }
-      transaction.push_back(static_cast<ItemId>(raw));
+      if (raw > static_cast<long long>(std::numeric_limits<ItemId>::max())) {
+        if (options_.malformed_rows == MalformedRowPolicy::kSkipAndCount) {
+          skip_row = true;
+          break;
+        }
+        return Status::InvalidArgument(
+            "item id overflows 32 bits at " +
+            Position(line_number, line_offset) + " of " + path_);
+      }
+      const auto item = static_cast<ItemId>(raw);
+      // Cross-check against the declared universe: an id at or beyond
+      // "# items: N" means the header lies about the file.
+      if (declared_items > 0 && item >= declared_items) {
+        if (options_.malformed_rows == MalformedRowPolicy::kSkipAndCount) {
+          skip_row = true;
+          break;
+        }
+        return Status::InvalidArgument(
+            "item id " + std::to_string(raw) + " exceeds declared universe (" +
+            "# items: " + std::to_string(declared_items) + ") at " +
+            Position(line_number, line_offset) + " of " + path_);
+      }
+      transaction.push_back(item);
     }
-    if (!fields.eof()) {
-      return Status::InvalidArgument("non-numeric token at line " +
-                                     std::to_string(line_number));
+    if (!skip_row && !fields.eof()) {
+      if (options_.malformed_rows == MalformedRowPolicy::kSkipAndCount) {
+        skip_row = true;
+      } else {
+        return Status::InvalidArgument(
+            "non-numeric token at " + Position(line_number, line_offset) +
+            " of " + path_);
+      }
+    }
+    if (skip_row) {
+      ++last_pass_rows_skipped_;
+      continue;
     }
     if (transaction.empty()) continue;
     std::sort(transaction.begin(), transaction.end());
@@ -56,12 +158,17 @@ StatusOr<std::vector<uint64_t>> StreamingCounter::CountSupports(
     ++last_pass_transactions_;
     if (num_nonempty > 0) trie.CountTransaction(transaction, counts);
   }
+  if (in.bad()) {
+    return Status::IoError("read failed at " +
+                           Position(line_number + 1, byte_offset) + " of " +
+                           path_);
+  }
 
   // Empty itemsets are supported by every transaction seen this pass.
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (candidates[i].empty()) counts[i] = last_pass_transactions_;
   }
-  return counts;
+  return Status::OK();
 }
 
 }  // namespace pincer

@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "counting/scan_budget.h"
 #include "data/database.h"
 #include "itemset/itemset.h"
 #include "util/metrics.h"
@@ -64,9 +65,19 @@ class SupportCounter {
   /// rows (vertical) ignore the pool.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
+  /// Attaches a cooperative scan deadline (must outlive the counter's use):
+  /// the transaction-scanning backends then poll it every
+  /// kScanAbortCheckRows rows and stop mid-scan once it expires, leaving
+  /// the returned counts partial — the caller must test
+  /// budget->exceeded() after every CountSupports call and discard the
+  /// counts when set. Null (the default) disables polling; the vertical
+  /// backend, which never scans rows, ignores the budget.
+  void set_scan_budget(ScanBudget* budget) { budget_ = budget; }
+
  protected:
   CountingMetrics* metrics_ = nullptr;
   ThreadPool* pool_ = nullptr;
+  ScanBudget* budget_ = nullptr;
 };
 
 }  // namespace pincer

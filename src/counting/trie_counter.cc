@@ -35,7 +35,8 @@ std::vector<uint64_t> TrieCounter::CountSupports(
                      for (size_t tid = begin; tid < end; ++tid) {
                        trie.CountTransaction(db_.transaction(tid), partial);
                      }
-                   });
+                   },
+                   budget_);
   return counts;
 }
 

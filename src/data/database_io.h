@@ -5,23 +5,50 @@
 #ifndef PINCER_DATA_DATABASE_IO_H_
 #define PINCER_DATA_DATABASE_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
 #include "data/database.h"
+#include "data/row_policy.h"
 #include "util/status.h"
 #include "util/statusor.h"
 
 namespace pincer {
 
-/// Parses a database from a stream. Item ids must be non-negative integers;
-/// `num_items` of the result is max id + 1 (or the declared universe via an
-/// optional header line "# items: N"). Returns InvalidArgument on malformed
-/// input.
+/// Read-side knobs.
+struct DatabaseReadOptions {
+  /// What to do with malformed rows (non-numeric tokens, negative or
+  /// overflowing ids, ids at or beyond a declared "# items: N" universe).
+  MalformedRowPolicy malformed_rows = MalformedRowPolicy::kStrict;
+};
+
+/// What a read dropped. All zero on a clean file.
+struct DatabaseReadReport {
+  /// Rows dropped under MalformedRowPolicy::kSkipAndCount.
+  uint64_t rows_skipped = 0;
+};
+
+/// Parses a database from a stream. Item ids must be non-negative integers
+/// that fit ItemId; `num_items` of the result is max id + 1 (or the declared
+/// universe via an optional header line "# items: N" — a larger observed id
+/// is cross-checked against that header and rejected under the strict
+/// policy). Returns InvalidArgument naming the 1-based line number and byte
+/// offset on malformed input; under kSkipAndCount malformed rows are
+/// dropped and tallied in `report` instead.
+StatusOr<TransactionDatabase> ReadDatabase(std::istream& in,
+                                           const DatabaseReadOptions& options,
+                                           DatabaseReadReport* report);
+
+/// Strict read with no report (the original API).
 StatusOr<TransactionDatabase> ReadDatabase(std::istream& in);
 
 /// Reads a database from a file path. Returns IoError if the file cannot be
 /// opened.
+StatusOr<TransactionDatabase> ReadDatabaseFromFile(
+    const std::string& path, const DatabaseReadOptions& options,
+    DatabaseReadReport* report);
+
 StatusOr<TransactionDatabase> ReadDatabaseFromFile(const std::string& path);
 
 /// Writes a database to a stream in basket format, with a "# items: N"

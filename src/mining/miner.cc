@@ -68,6 +68,48 @@ MaximalSetResult MineMaximal(const TransactionDatabase& db,
   return MaximalSetResult{};
 }
 
+StatusOr<MaximalSetResult> ResumeMaximal(const TransactionDatabase& db,
+                                         const MiningOptions& options,
+                                         Algorithm algorithm,
+                                         const Checkpoint& checkpoint) {
+  switch (algorithm) {
+    case Algorithm::kApriori: {
+      StatusOr<FrequentSetResult> full =
+          AprioriResume(db, options, checkpoint);
+      if (!full.ok()) return full.status();
+      MaximalSetResult result;
+      result.mfs = full->MaximalItemsets();
+      result.stats = full->stats;
+      return result;
+    }
+    case Algorithm::kAprioriCombined: {
+      StatusOr<FrequentSetResult> full =
+          AprioriCombinedResume(db, options, checkpoint);
+      if (!full.ok()) return full.status();
+      MaximalSetResult result;
+      result.mfs = full->MaximalItemsets();
+      result.stats = full->stats;
+      return result;
+    }
+    case Algorithm::kPincer: {
+      MiningOptions pure = options;
+      pure.mfcs_cardinality_limit = 0;
+      return PincerResume(db, pure, checkpoint);
+    }
+    case Algorithm::kPincerAdaptive: {
+      MiningOptions adaptive = options;
+      if (adaptive.mfcs_cardinality_limit == 0) {
+        adaptive.mfcs_cardinality_limit = kDefaultMfcsCardinalityLimit;
+      }
+      if (adaptive.mfcs_work_limit == 0) {
+        adaptive.mfcs_work_limit = kDefaultMfcsWorkLimit;
+      }
+      return PincerResume(db, adaptive, checkpoint);
+    }
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
 FrequentSetResult MineFrequent(const TransactionDatabase& db,
                                const MiningOptions& options) {
   return AprioriMine(db, options);

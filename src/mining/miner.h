@@ -57,6 +57,19 @@ MaximalSetResult MineMaximal(const TransactionDatabase& db,
                              const MiningOptions& options,
                              Algorithm algorithm);
 
+/// Resumes a MineMaximal run from a pass-level checkpoint written by a
+/// previous run's options.checkpoint_sink. Applies the same per-algorithm
+/// option rewrites as MineMaximal before validating the checkpoint's
+/// options fingerprint, so a run started through MineMaximal resumes with
+/// identical effective options. The resumed result's MFS, supports, and
+/// cumulative structural stats are bit-identical to the uninterrupted
+/// run's. Returns InvalidArgument for a stale checkpoint (different
+/// algorithm, options, or database) — never silently reuses one.
+StatusOr<MaximalSetResult> ResumeMaximal(const TransactionDatabase& db,
+                                         const MiningOptions& options,
+                                         Algorithm algorithm,
+                                         const Checkpoint& checkpoint);
+
 /// Mines the complete frequent set (Apriori). Provided for rule generation
 /// over all itemsets.
 FrequentSetResult MineFrequent(const TransactionDatabase& db,

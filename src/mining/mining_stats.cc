@@ -19,6 +19,11 @@ std::string MiningStats::ToString() const {
     os << "MFCS maintenance abandoned at pass " << mfcs_disabled_at_pass
        << " (adaptive policy)\n";
   }
+  if (retries > 0) os << "I/O retries: " << retries << "\n";
+  if (rows_skipped > 0) os << "malformed rows skipped: " << rows_skipped << "\n";
+  if (rows_dropped_items > 0) {
+    os << "out-of-universe items dropped: " << rows_dropped_items << "\n";
+  }
   for (const PassStats& pass : per_pass) {
     os << "  pass " << pass.pass << ": candidates=" << pass.num_candidates
        << " mfcs_candidates=" << pass.num_mfcs_candidates
@@ -55,6 +60,9 @@ void MiningStats::ToJson(JsonWriter& json) const {
   json.KeyValue("mfcs_disabled", mfcs_disabled);
   json.KeyValue("mfcs_disabled_at_pass",
                 static_cast<uint64_t>(mfcs_disabled_at_pass));
+  json.KeyValue("retries", retries);
+  json.KeyValue("rows_skipped", rows_skipped);
+  json.KeyValue("rows_dropped_items", rows_dropped_items);
   json.Key("counting");
   counting.ToJson(json);
   json.Key("per_pass").BeginArray();

@@ -91,6 +91,15 @@ struct MiningStats {
   bool mfcs_disabled = false;
   /// Pass at which it was abandoned (0 if never).
   size_t mfcs_disabled_at_pass = 0;
+  /// Transient-I/O retry attempts the run's disk scans performed under
+  /// RetryPolicy (0 for in-memory runs and fault-free streaming runs).
+  uint64_t retries = 0;
+  /// Malformed input rows dropped under MalformedRowPolicy::kSkipAndCount
+  /// (0 under the strict policy, which fails instead of dropping).
+  uint64_t rows_skipped = 0;
+  /// Items dropped by TransactionDatabase::AddTransaction for lying outside
+  /// the declared universe (0 for a well-formed database).
+  uint64_t rows_dropped_items = 0;
   /// Counting-backend work counters. All zero unless
   /// MiningOptions::collect_counter_metrics was set for the run. Covers
   /// the generic backend only — the §4.1.1 pass-1/2 array fast paths are

@@ -4,10 +4,16 @@
 #define PINCER_MINING_OPTIONS_H_
 
 #include <cstddef>
+#include <functional>
 
 #include "counting/support_counter.h"
+#include "data/row_policy.h"
+#include "util/retry.h"
+#include "util/status.h"
 
 namespace pincer {
+
+struct Checkpoint;
 
 /// Options accepted by both miners. Pincer-specific fields are ignored by
 /// Apriori.
@@ -61,11 +67,32 @@ struct MiningOptions {
   bool verbose = false;
 
   /// Cooperative wall-clock budget in milliseconds (0 = unlimited). Checked
-  /// between passes: when exceeded, the run stops early and the result
-  /// carries stats.aborted = true with whatever was mined so far. Used by
-  /// the benchmark harnesses to bound Apriori's exponential blow-ups at the
-  /// paper's hardest settings.
+  /// between passes and — via ScanBudget — every kScanAbortCheckRows rows
+  /// inside each counting scan, so a single huge pass honors the budget
+  /// too: when exceeded, the in-flight pass's partial counts are discarded,
+  /// the run stops, and the result carries stats.aborted = true with
+  /// whatever was mined by the last completed pass. Used by the benchmark
+  /// harnesses to bound Apriori's exponential blow-ups at the paper's
+  /// hardest settings.
   double time_budget_ms = 0;
+
+  /// Retry policy for transient IoErrors on the disk-streaming path
+  /// (StreamingCounter). Defaults to a single attempt — no retries. Ignored
+  /// by the in-memory counting backends, which cannot fail.
+  RetryPolicy retry;
+
+  /// What the streaming path does with rows that fail to parse. Strict (the
+  /// default) fails the pass; kSkipAndCount drops the row and tallies it in
+  /// stats.rows_skipped.
+  MalformedRowPolicy malformed_rows = MalformedRowPolicy::kStrict;
+
+  /// Pass-level checkpoint sink: when set, every miner invokes it after
+  /// each completed pass with a Checkpoint snapshot (see
+  /// mining/checkpoint.h) that ResumeMaximal can later restart from. A
+  /// failing sink is reported once via PINCER_LOG and mining continues —
+  /// checkpointing is best-effort by design (a full disk must not kill the
+  /// run it exists to protect).
+  std::function<Status(const Checkpoint&)> checkpoint_sink;
 };
 
 }  // namespace pincer

@@ -284,6 +284,10 @@ std::vector<std::string> CheckStatsInvariants(const MiningStats& stats,
   check_number("num_threads", static_cast<double>(stats.num_threads));
   check_number("mfcs_disabled_at_pass",
                static_cast<double>(stats.mfcs_disabled_at_pass));
+  check_number("retries", static_cast<double>(stats.retries));
+  check_number("rows_skipped", static_cast<double>(stats.rows_skipped));
+  check_number("rows_dropped_items",
+               static_cast<double>(stats.rows_dropped_items));
   check_bool("aborted", stats.aborted);
   check_bool("mfcs_disabled", stats.mfcs_disabled);
   if (CountJsonKey(json, "pass") != stats.per_pass.size()) {

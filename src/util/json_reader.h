@@ -1,0 +1,60 @@
+// Minimal JSON parser for reading back documents this library wrote with
+// JsonWriter — checkpoints in particular. Numbers keep their raw source
+// token, so 64-bit integers (supports, counters) round-trip exactly instead
+// of being squeezed through a double. Deliberately small: full JSON syntax,
+// UTF-8 passed through opaquely, \uXXXX escapes decoded only for the BMP.
+//
+// Not the test-side parser (tests/test_json_parser.h stays independent so
+// reader bugs cannot mask writer bugs); this one is production code on the
+// checkpoint-resume path.
+
+#ifndef PINCER_UTIL_JSON_READER_H_
+#define PINCER_UTIL_JSON_READER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace pincer {
+
+/// A parsed JSON value. Object members preserve source order.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  /// For kNumber: the raw source token (e.g. "18446744073709551615").
+  /// For kString: the decoded string value.
+  std::string scalar;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  /// Looks up an object member by key; null if absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed accessors: nullopt on type mismatch or (for the integer forms)
+  /// when the token is not exactly an integer in range.
+  std::optional<bool> AsBool() const;
+  std::optional<uint64_t> AsUint64() const;
+  std::optional<int64_t> AsInt64() const;
+  std::optional<double> AsDouble() const;
+  std::optional<std::string_view> AsString() const;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error. Returns
+/// InvalidArgument with a byte offset on malformed input.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace pincer
+
+#endif  // PINCER_UTIL_JSON_READER_H_

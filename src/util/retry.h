@@ -1,0 +1,48 @@
+// Retry policy for transient I/O failures on the disk-streaming path. A
+// policy is a plain value in MiningOptions; the streaming counter applies it
+// per pass: a pass that fails with IoError is discarded wholesale (partial
+// counts are thrown away) and re-scanned from the start of the file, up to
+// max_attempts total attempts, sleeping an exponentially growing backoff
+// between attempts. Non-transient errors (InvalidArgument from malformed
+// rows under the strict policy) are never retried — re-reading the same
+// bytes cannot fix them.
+
+#ifndef PINCER_UTIL_RETRY_H_
+#define PINCER_UTIL_RETRY_H_
+
+#include <cstddef>
+
+#include "util/status.h"
+
+namespace pincer {
+
+/// Per-pass retry knobs. The defaults mean "no retries": one attempt,
+/// matching the pre-fault-tolerance behavior exactly.
+struct RetryPolicy {
+  /// Total attempts per pass, including the first. 0 behaves as 1.
+  size_t max_attempts = 1;
+  /// Sleep before the first retry, in milliseconds. 0 retries immediately
+  /// (the right setting for tests).
+  double initial_backoff_ms = 0.0;
+  /// Backoff growth factor between consecutive retries.
+  double multiplier = 2.0;
+};
+
+/// True if `status` is worth retrying under this subsystem's rules: only
+/// IoError is considered transient.
+inline bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kIoError;
+}
+
+/// Backoff to sleep before retry number `retry` (1-based: the sleep before
+/// the second attempt is retry 1), in milliseconds.
+inline double BackoffMs(const RetryPolicy& policy, size_t retry) {
+  if (policy.initial_backoff_ms <= 0.0 || retry == 0) return 0.0;
+  double backoff = policy.initial_backoff_ms;
+  for (size_t i = 1; i < retry; ++i) backoff *= policy.multiplier;
+  return backoff;
+}
+
+}  // namespace pincer
+
+#endif  // PINCER_UTIL_RETRY_H_

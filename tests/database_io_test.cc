@@ -109,5 +109,119 @@ TEST(DatabaseIo, MissingFileIsIoError) {
   EXPECT_EQ(db.status().code(), StatusCode::kIoError);
 }
 
+// --- Malformed-input edges: each parses strictly to a precise error (with
+// line number and byte offset) and, under kSkipAndCount, to a dropped and
+// tallied row instead.
+
+StatusOr<TransactionDatabase> ReadSkipping(const std::string& text,
+                                           DatabaseReadReport& report) {
+  std::istringstream in(text);
+  DatabaseReadOptions options;
+  options.malformed_rows = MalformedRowPolicy::kSkipAndCount;
+  return ReadDatabase(in, options, &report);
+}
+
+TEST(DatabaseIo, ErrorsCarryLineNumberAndByteOffset) {
+  // "0 1\n" is 4 bytes, so the bad row starts at line 2, byte 4.
+  std::istringstream in("0 1\n2 x\n");
+  const StatusOr<TransactionDatabase> db = ReadDatabase(in);
+  ASSERT_FALSE(db.ok());
+  EXPECT_NE(db.status().message().find("line 2, byte 4"), std::string::npos)
+      << db.status();
+}
+
+TEST(DatabaseIo, IdOverflowRejectedStrictSkippedOtherwise) {
+  const std::string text = "1 2\n1 4294967296\n3\n";  // 2^32 overflows ItemId
+  std::istringstream strict(text);
+  const StatusOr<TransactionDatabase> rejected = ReadDatabase(strict);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("overflows"), std::string::npos);
+
+  DatabaseReadReport report;
+  const StatusOr<TransactionDatabase> skipped = ReadSkipping(text, report);
+  ASSERT_TRUE(skipped.ok()) << skipped.status();
+  EXPECT_EQ(report.rows_skipped, 1u);
+  EXPECT_EQ(skipped->size(), 2u);
+}
+
+TEST(DatabaseIo, NegativeIdSkippedUnderSkipPolicy) {
+  DatabaseReadReport report;
+  const StatusOr<TransactionDatabase> db = ReadSkipping("-1 2\n3\n", report);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(report.rows_skipped, 1u);
+  EXPECT_EQ(db->size(), 1u);
+}
+
+TEST(DatabaseIo, HandlesCrlfLineEndings) {
+  std::istringstream in("# items: 5\r\n0 1\r\n2 3\r\n");
+  const StatusOr<TransactionDatabase> db = ReadDatabase(in);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->size(), 2u);
+  EXPECT_EQ(db->num_items(), 5u);
+  const Transaction expected = {0, 1};
+  EXPECT_EQ(db->transaction(0), expected);
+}
+
+TEST(DatabaseIo, HandlesMissingTrailingNewline) {
+  std::istringstream in("0 1\n2 3");
+  const StatusOr<TransactionDatabase> db = ReadDatabase(in);
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(db->size(), 2u);
+  const Transaction expected = {2, 3};
+  EXPECT_EQ(db->transaction(1), expected);
+}
+
+TEST(DatabaseIo, EmptyFileIsAnEmptyDatabase) {
+  std::istringstream in("");
+  const StatusOr<TransactionDatabase> db = ReadDatabase(in);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 0u);
+  EXPECT_EQ(db->num_items(), 0u);
+}
+
+TEST(DatabaseIo, AbsurdHeaderValues) {
+  // Overflowing, negative, and non-numeric declared universes are all bad
+  // headers: strict rejects, skip drops and tallies the header line.
+  for (const char* text : {"# items: 99999999999999999999999\n1\n",
+                           "# items: -4\n1\n", "# items: many\n1\n"}) {
+    std::istringstream strict(text);
+    const StatusOr<TransactionDatabase> rejected = ReadDatabase(strict);
+    ASSERT_FALSE(rejected.ok()) << text;
+    EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument) << text;
+    EXPECT_NE(rejected.status().message().find("header"), std::string::npos)
+        << rejected.status();
+
+    DatabaseReadReport report;
+    const StatusOr<TransactionDatabase> skipped = ReadSkipping(text, report);
+    ASSERT_TRUE(skipped.ok()) << skipped.status();
+    EXPECT_EQ(report.rows_skipped, 1u) << text;
+    EXPECT_EQ(skipped->size(), 1u) << text;
+  }
+}
+
+TEST(DatabaseIo, HeaderUndercountCrossCheck) {
+  // The header declares 3 items but the file holds id 7: strict mode calls
+  // the lie out, naming the offending row; skip mode honors the header and
+  // lets the database drop (and tally) the out-of-universe items.
+  const std::string text = "# items: 3\n0 1\n2 7\n";
+  std::istringstream strict(text);
+  const StatusOr<TransactionDatabase> rejected = ReadDatabase(strict);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("declared universe"),
+            std::string::npos)
+      << rejected.status();
+  EXPECT_NE(rejected.status().message().find("line 3"), std::string::npos)
+      << rejected.status();
+
+  DatabaseReadReport report;
+  const StatusOr<TransactionDatabase> skipped = ReadSkipping(text, report);
+  ASSERT_TRUE(skipped.ok()) << skipped.status();
+  EXPECT_EQ(skipped->num_items(), 3u);
+  EXPECT_EQ(skipped->size(), 2u);
+  EXPECT_EQ(skipped->num_dropped_items(), 1u);  // the 7
+}
+
 }  // namespace
 }  // namespace pincer

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "gen/quest_gen.h"
+#include "mining/checkpoint.h"
+#include "mining/miner.h"
 #include "mining/options.h"
 #include "testing/db_builder.h"
 #include "testing/differential.h"
@@ -106,6 +108,53 @@ TEST(DifferentialStress, LabelsAreDistinct) {
   std::sort(labels.begin(), labels.end());
   EXPECT_EQ(std::adjacent_find(labels.begin(), labels.end()), labels.end())
       << "duplicate config labels would make failure reports ambiguous";
+}
+
+TEST(DifferentialStress, ResumeMatchesUninterruptedRunEverywhere) {
+  // Checkpoint/resume differential: every algorithm × fast-path setting
+  // over a Quest database — capture a checkpoint after every pass, resume
+  // from each one through its JSON form, and demand the bit-identical MFS
+  // and supports of the uninterrupted run.
+  const StatusOr<TransactionDatabase> db =
+      GenerateQuestDatabase(SweepShapes()[1]);
+  ASSERT_TRUE(db.ok()) << db.status();
+  size_t resumes_checked = 0;
+  for (const Algorithm algorithm :
+       {Algorithm::kApriori, Algorithm::kAprioriCombined, Algorithm::kPincer,
+        Algorithm::kPincerAdaptive}) {
+    for (const bool fast_path : {true, false}) {
+      MiningOptions options;
+      options.min_support = 0.05;
+      options.use_array_fast_path = fast_path;
+      const std::string context = std::string(AlgorithmName(algorithm)) +
+                                  (fast_path ? "/fast" : "/generic");
+
+      std::vector<Checkpoint> checkpoints;
+      MiningOptions recording = options;
+      recording.checkpoint_sink = [&](const Checkpoint& checkpoint) {
+        checkpoints.push_back(checkpoint);
+        return Status::OK();
+      };
+      const MaximalSetResult reference = MineMaximal(*db, recording, algorithm);
+      ASSERT_FALSE(checkpoints.empty()) << context;
+
+      for (const Checkpoint& checkpoint : checkpoints) {
+        const StatusOr<Checkpoint> reloaded =
+            ParseCheckpoint(checkpoint.ToJsonString());
+        ASSERT_TRUE(reloaded.ok())
+            << context << ": " << reloaded.status();
+        const StatusOr<MaximalSetResult> resumed =
+            ResumeMaximal(*db, options, algorithm, *reloaded);
+        ASSERT_TRUE(resumed.ok())
+            << context << " at pass " << checkpoint.next_pass << ": "
+            << resumed.status();
+        EXPECT_EQ(resumed->mfs, reference.mfs)
+            << context << " resumed at pass " << checkpoint.next_pass;
+        ++resumes_checked;
+      }
+    }
+  }
+  EXPECT_GE(resumes_checked, 16u);
 }
 
 TEST(DifferentialStress, CheckStatsInvariantsFlagsBrokenStats) {

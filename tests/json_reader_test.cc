@@ -1,0 +1,130 @@
+// Tests for the production JSON reader used on the checkpoint-resume path.
+// Deliberately independent of tests/test_json_parser.h so reader bugs
+// cannot mask writer bugs (and vice versa).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "util/json_reader.h"
+#include "util/json_writer.h"
+
+namespace pincer {
+namespace {
+
+TEST(JsonReader, ParsesScalars) {
+  const StatusOr<JsonValue> null = ParseJson("null");
+  ASSERT_TRUE(null.ok());
+  EXPECT_TRUE(null->is_null());
+
+  const StatusOr<JsonValue> truthy = ParseJson("true");
+  ASSERT_TRUE(truthy.ok());
+  EXPECT_EQ(truthy->AsBool(), true);
+
+  const StatusOr<JsonValue> number = ParseJson("-12.5e2");
+  ASSERT_TRUE(number.ok());
+  EXPECT_EQ(number->AsDouble(), -1250.0);
+
+  const StatusOr<JsonValue> text = ParseJson("\"hi\\nthere\"");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->AsString(), "hi\nthere");
+}
+
+TEST(JsonReader, Uint64RoundTripsExactly) {
+  // The reason this reader exists: 2^64 - 1 does not survive a double.
+  const StatusOr<JsonValue> value = ParseJson("18446744073709551615");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->AsUint64(), UINT64_MAX);
+  // Out of range, fractional, and negative tokens are not uint64s.
+  EXPECT_FALSE(ParseJson("18446744073709551616")->AsUint64().has_value());
+  EXPECT_FALSE(ParseJson("1.5")->AsUint64().has_value());
+  EXPECT_FALSE(ParseJson("-1")->AsUint64().has_value());
+  EXPECT_EQ(ParseJson("-1")->AsInt64(), int64_t{-1});
+}
+
+TEST(JsonReader, ObjectPreservesOrderAndFinds) {
+  const StatusOr<JsonValue> value =
+      ParseJson(R"({"b": 1, "a": {"nested": [1, 2, 3]}})");
+  ASSERT_TRUE(value.ok());
+  ASSERT_TRUE(value->is_object());
+  ASSERT_EQ(value->object.size(), 2u);
+  EXPECT_EQ(value->object[0].first, "b");
+  const JsonValue* a = value->Find("a");
+  ASSERT_NE(a, nullptr);
+  const JsonValue* nested = a->Find("nested");
+  ASSERT_NE(nested, nullptr);
+  ASSERT_TRUE(nested->is_array());
+  ASSERT_EQ(nested->array.size(), 3u);
+  EXPECT_EQ(nested->array[2].AsUint64(), uint64_t{3});
+  EXPECT_EQ(value->Find("missing"), nullptr);
+}
+
+TEST(JsonReader, TypeMismatchesReturnNullopt) {
+  const StatusOr<JsonValue> value = ParseJson(R"({"s": "text"})");
+  ASSERT_TRUE(value.ok());
+  const JsonValue* s = value->Find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->AsUint64().has_value());
+  EXPECT_FALSE(s->AsBool().has_value());
+  EXPECT_EQ(s->AsString(), "text");
+}
+
+TEST(JsonReader, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "{\"a\":}", "[1 2]", "tru", "\"unterm",
+        "1.", "+1", "{\"a\":1,}", "[,]", "1 2", "{\"a\":1} trailing",
+        "\"\\q\"", "nan", "\"\\ud800\""}) {
+    const StatusOr<JsonValue> value = ParseJson(bad);
+    EXPECT_FALSE(value.ok()) << "accepted: " << bad;
+    if (!value.ok()) {
+      EXPECT_EQ(value.status().code(), StatusCode::kInvalidArgument) << bad;
+    }
+  }
+}
+
+TEST(JsonReader, DecodesBmpUnicodeEscapes) {
+  const StatusOr<JsonValue> value = ParseJson("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->AsString(), "A\xc3\xa9");  // 'A' + e-acute in UTF-8
+}
+
+TEST(JsonReader, RoundTripsJsonWriterOutput) {
+  // The reader's contract is "reads what JsonWriter writes".
+  std::ostringstream out;
+  {
+    JsonWriter json(out);
+    json.BeginObject();
+    json.KeyValue("name", "round trip \"quoted\"\n");
+    json.KeyValue("count", uint64_t{18446744073709551615u});
+    json.KeyValue("ratio", 0.25);
+    json.KeyValue("flag", true);
+    json.Key("list");
+    json.BeginArray();
+    json.Value(uint64_t{1});
+    json.Value(uint64_t{2});
+    json.EndArray();
+    json.EndObject();
+  }
+  const StatusOr<JsonValue> value = ParseJson(out.str());
+  ASSERT_TRUE(value.ok()) << value.status();
+  EXPECT_EQ(value->Find("name")->AsString(), "round trip \"quoted\"\n");
+  EXPECT_EQ(value->Find("count")->AsUint64(), UINT64_MAX);
+  EXPECT_EQ(value->Find("ratio")->AsDouble(), 0.25);
+  EXPECT_EQ(value->Find("flag")->AsBool(), true);
+  ASSERT_EQ(value->Find("list")->array.size(), 2u);
+}
+
+TEST(JsonReader, ErrorsNameAByteOffset) {
+  const StatusOr<JsonValue> value = ParseJson("{\"a\": bogus}");
+  ASSERT_FALSE(value.ok());
+  // The parser promises a byte offset in the message; a digit is enough to
+  // assert without pinning the exact wording.
+  EXPECT_NE(value.status().message().find_first_of("0123456789"),
+            std::string::npos)
+      << value.status();
+}
+
+}  // namespace
+}  // namespace pincer

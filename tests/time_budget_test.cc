@@ -75,5 +75,43 @@ TEST(TimeBudget, GenerousBudgetDoesNotAbort) {
   EXPECT_FALSE(PincerSearch(DeepDb(), options).stats.aborted);
 }
 
+TEST(TimeBudget, AbortsMidScanInsideASinglePass) {
+  // Enough rows that the in-scan poll (every kScanAbortCheckRows rows)
+  // fires during pass 1 — before any between-pass check could run. The
+  // aborted in-flight pass must leave no stats trace: no pass counted, no
+  // per-pass record, no partial counts surfaced.
+  TransactionDatabase db(4);
+  for (int i = 0; i < 10000; ++i) db.AddTransaction({0, 1, 2});
+  MiningOptions options;
+  options.min_support = 0.5;
+  options.time_budget_ms = 1e-6;  // already exceeded when the scan starts
+
+  const FrequentSetResult apriori = AprioriMine(db, options);
+  EXPECT_TRUE(apriori.stats.aborted);
+  EXPECT_EQ(apriori.stats.passes, 0u);
+  EXPECT_TRUE(apriori.stats.per_pass.empty());
+  EXPECT_TRUE(apriori.frequent.empty());
+
+  const MaximalSetResult pincer = PincerSearch(db, options);
+  EXPECT_TRUE(pincer.stats.aborted);
+  EXPECT_EQ(pincer.stats.passes, 0u);
+  EXPECT_TRUE(pincer.mfs.empty());
+}
+
+TEST(TimeBudget, MidScanAbortWorksWithoutTheFastPath) {
+  // Same mid-scan poll, but through the generic backend's ChunkedCountScan
+  // instead of the pass-1 array fast path.
+  TransactionDatabase db(4);
+  for (int i = 0; i < 10000; ++i) db.AddTransaction({0, 1, 2});
+  MiningOptions options;
+  options.min_support = 0.5;
+  options.use_array_fast_path = false;
+  options.time_budget_ms = 1e-6;
+  const FrequentSetResult result = AprioriMine(db, options);
+  EXPECT_TRUE(result.stats.aborted);
+  EXPECT_EQ(result.stats.passes, 0u);
+  EXPECT_TRUE(result.frequent.empty());
+}
+
 }  // namespace
 }  // namespace pincer

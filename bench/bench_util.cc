@@ -26,11 +26,14 @@ namespace {
 // are a few hundred bytes and mining runs are seconds-to-minutes, so the
 // rewrite cost is irrelevant.
 std::string& JsonPath() {
+  // Destructor order with the atexit flush would be a hazard, so leak it.
+  // lint: allow-new(leaked function-local static)
   static std::string* path = new std::string();
   return *path;
 }
 
 std::vector<std::string>& JsonRecords() {
+  // lint: allow-new(leaked function-local static, as above)
   static std::vector<std::string>* records = new std::vector<std::string>();
   return *records;
 }

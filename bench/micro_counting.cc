@@ -31,6 +31,7 @@ const TransactionDatabase& BenchDb() {
     params.avg_pattern_size = 4;
     params.seed = 99;
     auto result = GenerateQuestDatabase(params);
+    // lint: allow-new(leaked bench fixture; alive for the whole run)
     return new TransactionDatabase(std::move(result).value());
   }();
   return *db;
@@ -42,6 +43,7 @@ const std::vector<Itemset>& BenchCandidates() {
     MiningOptions options;
     options.min_support = 0.01;
     const FrequentSetResult frequent = AprioriMine(BenchDb(), options);
+    // lint: allow-new(leaked bench fixture; alive for the whole run)
     auto* out = new std::vector<Itemset>();
     for (const FrequentItemset& fi : frequent.frequent) {
       if (fi.itemset.size() == 2) out->push_back(fi.itemset);
@@ -100,6 +102,7 @@ BENCHMARK(BM_CountSupportsPooled)
 // about. The file is written once, up front.
 void BM_CountSupportsStreaming(benchmark::State& state) {
   static const std::string* path = [] {
+    // lint: allow-new(leaked bench fixture; alive for the whole run)
     auto* p = new std::string(
         (std::filesystem::temp_directory_path() / "pincer_bench_db.basket")
             .string());

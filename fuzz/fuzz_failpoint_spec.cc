@@ -1,0 +1,29 @@
+// Fuzzes the PINCER_FAILPOINTS spec parser (failpoint::ArmFromSpec). The
+// spec string arrives from the environment, so it is untrusted; a malformed
+// spec must arm nothing and return InvalidArgument. Every iteration disarms
+// all points so no registry state leaks between inputs.
+
+#include <string_view>
+
+#include "fuzz/fuzz_harness.h"
+#include "util/failpoint.h"
+
+namespace pincer {
+namespace fuzz {
+
+int FuzzFailpointSpec(const uint8_t* data, size_t size) {
+  const std::string_view spec(reinterpret_cast<const char*>(data), size);
+  const Status status = failpoint::ArmFromSpec(spec);
+  if (!status.ok() && failpoint::AnyArmed()) {
+    // Documented atomicity: a rejected spec arms nothing.
+    failpoint::DisarmAll();
+    __builtin_trap();
+  }
+  failpoint::DisarmAll();
+  return 0;
+}
+
+}  // namespace fuzz
+}  // namespace pincer
+
+PINCER_FUZZ_ENTRYPOINT(pincer::fuzz::FuzzFailpointSpec)

@@ -1,0 +1,45 @@
+// Shared scaffolding for the libFuzzer harnesses. Each fuzz/fuzz_*.cc
+// defines one deterministic entry function in pincer::fuzz and, unless
+// PINCER_FUZZ_OMIT_ENTRYPOINT is defined, exports it as
+// LLVMFuzzerTestOneInput. The same sources are also compiled (entry symbol
+// omitted) into the pincer_fuzz_harnesses library so the unit tests can
+// replay the checked-in corpus and regression inputs through the exact code
+// the fuzzers run — a fuzzer crash fixed here stays fixed as a gtest.
+//
+// Harness rules:
+//   * No global state may leak between iterations (failpoint harness calls
+//     DisarmAll()).
+//   * Inputs are untrusted bytes; the only acceptable outcomes are a clean
+//     Status error or a successful parse. Aborts (contract failures),
+//     sanitizer reports, and hangs are bugs.
+
+#ifndef PINCER_FUZZ_FUZZ_HARNESS_H_
+#define PINCER_FUZZ_FUZZ_HARNESS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pincer {
+namespace fuzz {
+
+int FuzzDatabaseIo(const uint8_t* data, size_t size);
+int FuzzJsonReader(const uint8_t* data, size_t size);
+int FuzzCheckpoint(const uint8_t* data, size_t size);
+int FuzzFailpointSpec(const uint8_t* data, size_t size);
+
+}  // namespace fuzz
+}  // namespace pincer
+
+/// Expands to the libFuzzer entry point delegating to `func`, unless this
+/// translation unit is being compiled into the harness library.
+#ifdef PINCER_FUZZ_OMIT_ENTRYPOINT
+#define PINCER_FUZZ_ENTRYPOINT(func)
+#else
+#define PINCER_FUZZ_ENTRYPOINT(func)                                  \
+  extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data,          \
+                                        size_t size) {                \
+    return func(data, size);                                          \
+  }
+#endif
+
+#endif  // PINCER_FUZZ_FUZZ_HARNESS_H_

@@ -1,0 +1,46 @@
+// Fuzzes the production JSON parser (src/util/json_reader.cc) behind
+// checkpoint/resume. On a successful parse, walks the whole value tree
+// through every typed accessor so lazy conversion paths (strtoull/strtoll/
+// strtod on raw tokens, object key lookup) run under the sanitizers too.
+
+#include <string_view>
+
+#include "fuzz/fuzz_harness.h"
+#include "util/json_reader.h"
+#include "util/statusor.h"
+
+namespace pincer {
+namespace fuzz {
+namespace {
+
+// Sinks a value so the compiler cannot drop accessor calls.
+volatile uint64_t g_sink = 0;
+
+void Walk(const JsonValue& value) {
+  if (const auto b = value.AsBool()) g_sink = g_sink + (*b ? 1 : 2);
+  if (const auto u = value.AsUint64()) g_sink = g_sink + *u;
+  if (const auto i = value.AsInt64())
+    g_sink = g_sink + static_cast<uint64_t>(*i);
+  if (const auto d = value.AsDouble()) g_sink = g_sink + ((*d == 0.0) ? 1 : 2);
+  if (const auto s = value.AsString()) g_sink = g_sink + s->size();
+  for (const JsonValue& child : value.array) Walk(child);
+  for (const auto& [key, child] : value.object) {
+    const JsonValue* found = value.Find(key);
+    if (found != nullptr) g_sink = g_sink + 1;
+    Walk(child);
+  }
+}
+
+}  // namespace
+
+int FuzzJsonReader(const uint8_t* data, size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  StatusOr<JsonValue> parsed = ParseJson(text);
+  if (parsed.ok()) Walk(*parsed);
+  return 0;
+}
+
+}  // namespace fuzz
+}  // namespace pincer
+
+PINCER_FUZZ_ENTRYPOINT(pincer::fuzz::FuzzJsonReader)

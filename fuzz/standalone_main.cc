@@ -1,0 +1,60 @@
+// Standalone driver for fuzz targets built without libFuzzer (e.g. GCC,
+// which has no -fsanitize=fuzzer). Replays files and directories of files
+// through LLVMFuzzerTestOneInput, mirroring libFuzzer's replay invocation:
+//
+//   fuzz_target [-ignored_flags...] path-or-dir [path-or-dir...]
+//
+// libFuzzer-style dash flags are ignored, so CI can invoke the same command
+// line (`fuzz_target -max_total_time=60 corpus_dir`) against either build:
+// under Clang it fuzzes for 60 seconds, elsewhere it replays the corpus
+// once and exits. Exit code 0 means every input was processed without a
+// crash (crashes abort the process, as under libFuzzer).
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+bool RunFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.string().c_str());
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // libFuzzer flag: ignore
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  size_t ran = 0;
+  for (const auto& path : inputs) {
+    if (RunFile(path)) ++ran;
+  }
+  std::printf("standalone fuzz replay: %zu/%zu inputs processed\n", ran,
+              inputs.size());
+  return ran == inputs.size() ? 0 : 1;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Verifies every tracked C++ source is clang-format-clean per .clang-format
+# (CI job `lint-and-format`). Pass --fix to reformat in place instead.
+#
+# Exits 0 with a notice when clang-format is not installed (the dev
+# container ships only GCC); CI installs it and is the enforcement point.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  for v in 21 20 19 18 17 16 15 14; do
+    if command -v "clang-format-$v" >/dev/null 2>&1; then
+      CLANG_FORMAT="clang-format-$v"
+      break
+    fi
+  done
+fi
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check_format.sh: clang-format not installed; skipping (CI enforces)"
+  exit 0
+fi
+
+mapfile -t files < <(git ls-files '*.cc' '*.h')
+if [[ "${1:-}" == "--fix" ]]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "check_format.sh: reformatted ${#files[@]} files"
+else
+  "$CLANG_FORMAT" --dry-run -Werror "${files[@]}"
+  echo "check_format.sh: ${#files[@]} files format-clean"
+fi

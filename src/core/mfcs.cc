@@ -2,7 +2,20 @@
 
 #include <algorithm>
 
+#include "util/contracts.h"
+
 namespace pincer {
+
+namespace {
+
+// IsAntichain() is O(n²); asserting it after every update would make Debug
+// runs quadratic in wall clock once the MFCS/MFS reaches §4 scales
+// (thousands of elements × thousands of updates). The contract therefore
+// verifies only sets small enough to check cheaply — which still covers
+// every unit-test scale and the early passes where MFCS-gen bugs surface.
+constexpr size_t kAntichainDcheckLimit = 64;
+
+}  // namespace
 
 Mfcs::Mfcs(size_t num_items) : universe_(num_items) {
   if (num_items > 0) {
@@ -30,6 +43,19 @@ Mfcs::Mfcs(size_t num_items, const std::vector<Itemset>& elements)
     items_.push_back(element);
     bits_.push_back(BitsOf(element));
   }
+  // The restore path trusts its input (it came from elements() via a
+  // validated checkpoint); re-verify the trust in Debug builds.
+  PINCER_DCHECK(items_.size() > kAntichainDcheckLimit || IsAntichain(),
+                "restored MFCS elements are not an antichain");
+}
+
+bool Mfcs::IsAntichain() const {
+  for (size_t i = 0; i < bits_.size(); ++i) {
+    for (size_t j = 0; j < bits_.size(); ++j) {
+      if (i != j && bits_[i].IsSubsetOf(bits_[j])) return false;
+    }
+  }
+  return true;
 }
 
 DynamicBitset Mfcs::BitsOf(const Itemset& itemset) const {
@@ -100,6 +126,8 @@ bool Mfcs::Update(const std::vector<Itemset>& infrequent, const Mfs& mfs,
       }
     }
   }
+  PINCER_DCHECK(items_.size() > kAntichainDcheckLimit || IsAntichain(),
+                "MFCS-gen left comparable elements after a completed update");
   return true;
 }
 

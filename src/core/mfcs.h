@@ -71,6 +71,13 @@ class Mfcs {
   /// `mfs`.
   bool Covers(const Itemset& itemset, const Mfs& mfs) const;
 
+  /// True if the elements are pairwise incomparable (no element a subset of
+  /// another) — Definition 1's structural invariant. O(n²) bitset subset
+  /// tests; used by tests and by the PINCER_DCHECK after every Update
+  /// (which, to keep Debug wall clock sane, skips sets past an internal
+  /// size bound).
+  bool IsAntichain() const;
+
   /// Snapshot of the current elements.
   std::vector<Itemset> elements() const { return items_; }
 

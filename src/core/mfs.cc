@@ -2,9 +2,15 @@
 
 #include <algorithm>
 
+#include "util/contracts.h"
+
 namespace pincer {
 
 namespace {
+
+// Same bound as in mfcs.cc: the O(n²) antichain contract checks only sets
+// small enough not to turn Debug mining runs quadratic in wall clock.
+constexpr size_t kAntichainDcheckLimit = 64;
 
 DynamicBitset BitsOf(const Itemset& itemset) {
   const size_t universe =
@@ -45,6 +51,18 @@ bool Mfs::Add(const Itemset& itemset, uint64_t support) {
 
   bits_.push_back(BitsOf(itemset));
   elements_.push_back({itemset, support});
+  PINCER_DCHECK(elements_.size() > kAntichainDcheckLimit || IsAntichain(),
+                "MFS holds comparable elements after Add of ",
+                itemset.ToString());
+  return true;
+}
+
+bool Mfs::IsAntichain() const {
+  for (size_t i = 0; i < elements_.size(); ++i) {
+    for (size_t j = 0; j < elements_.size(); ++j) {
+      if (i != j && ElementContains(j, elements_[i].itemset)) return false;
+    }
+  }
   return true;
 }
 

@@ -39,6 +39,12 @@ class Mfs {
 
   const std::vector<FrequentItemset>& elements() const { return elements_; }
 
+  /// True if the elements are pairwise incomparable — the maximality
+  /// invariant Add() maintains. O(n²); used by tests and by the
+  /// PINCER_DCHECK after every successful Add (which, to keep Debug wall
+  /// clock sane, skips sets past an internal size bound).
+  bool IsAntichain() const;
+
   /// Bare itemsets of all elements (used by the recovery procedure).
   std::vector<Itemset> Itemsets() const;
 

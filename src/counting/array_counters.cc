@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "counting/chunked_scan.h"
+#include "util/contracts.h"
 
 namespace pincer {
 
@@ -24,6 +25,12 @@ std::vector<uint64_t> CountSingletons(const TransactionDatabase& db,
 
 PairCountMatrix::PairCountMatrix(std::vector<ItemId> frequent_items)
     : items_(std::move(frequent_items)) {
+  // The triangular index, the rank map, and every consumer of
+  // frequent_items() (candidate generation, checkpointing) assume a
+  // strictly increasing item list; the resume path restores matrices from
+  // parsed checkpoints, so enforce the precondition here rather than trust
+  // every caller.
+  PINCER_CHECK_SORTED_UNIQUE(items_);
   size_t max_item = 0;
   for (ItemId item : items_) max_item = std::max<size_t>(max_item, item);
   rank_of_.assign(items_.empty() ? 0 : max_item + 1, SIZE_MAX);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "counting/scan_budget.h"
+#include "util/contracts.h"
 #include "util/thread_pool.h"
 
 namespace pincer {
@@ -82,6 +83,12 @@ inline void ChunkedCountScan(
   });
   for (size_t chunk = 0; chunk < chunks; ++chunk) {
     const std::vector<uint64_t>& partial = partials[chunk];
+    // Merge precondition: a scan callback must never resize its partial —
+    // the in-order element-wise merge is what keeps pooled counts
+    // bit-identical to the serial scan.
+    PINCER_CHECK(partial.size() == counts.size(),
+                 "scan chunk ", chunk, " resized its partial count vector (",
+                 partial.size(), " vs ", counts.size(), ")");
     for (size_t i = 0; i < counts.size(); ++i) counts[i] += partial[i];
   }
 }

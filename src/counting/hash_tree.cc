@@ -5,6 +5,7 @@
 #include <map>
 
 #include "counting/chunked_scan.h"
+#include "util/contracts.h"
 
 namespace pincer {
 
@@ -176,6 +177,9 @@ std::vector<uint64_t> HashTreeCounter::CountSupports(
         }
       },
       budget_);
+  PINCER_CHECK(counts.size() == candidates.size(),
+              "count vector out of step with candidate vector: ",
+              counts.size(), " vs ", candidates.size());
   return counts;
 }
 

@@ -2,6 +2,7 @@
 
 #include "counting/candidate_trie.h"
 #include "counting/chunked_scan.h"
+#include "util/contracts.h"
 
 namespace pincer {
 
@@ -49,6 +50,9 @@ std::vector<uint64_t> ParallelCounter::CountSupports(
                      }
                    },
                    budget_);
+  PINCER_CHECK(counts.size() == candidates.size(),
+              "count vector out of step with candidate vector: ",
+              counts.size(), " vs ", candidates.size());
   return counts;
 }
 

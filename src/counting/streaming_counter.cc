@@ -9,6 +9,7 @@
 
 #include "counting/candidate_trie.h"
 #include "data/transaction.h"
+#include "util/contracts.h"
 #include "util/failpoint.h"
 
 namespace pincer {
@@ -47,6 +48,9 @@ StatusOr<std::vector<uint64_t>> StreamingCounter::CountSupports(
     last_error = CountOnce(candidates, counts);
     if (last_error.ok()) {
       rows_skipped_ += last_pass_rows_skipped_;
+      PINCER_CHECK(counts.size() == candidates.size(),
+                  "count vector out of step with candidate vector: ",
+                  counts.size(), " vs ", candidates.size());
       return counts;
     }
     if (!IsRetryable(last_error)) break;

@@ -1,6 +1,7 @@
 #include "counting/trie_counter.h"
 
 #include "counting/chunked_scan.h"
+#include "util/contracts.h"
 
 namespace pincer {
 
@@ -37,6 +38,9 @@ std::vector<uint64_t> TrieCounter::CountSupports(
                      }
                    },
                    budget_);
+  PINCER_CHECK(counts.size() == candidates.size(),
+              "count vector out of step with candidate vector: ",
+              counts.size(), " vs ", candidates.size());
   return counts;
 }
 

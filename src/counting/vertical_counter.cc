@@ -1,5 +1,7 @@
 #include "counting/vertical_counter.h"
 
+#include "util/contracts.h"
+
 namespace pincer {
 
 VerticalCounter::VerticalCounter(const TransactionDatabase& db) : db_(db) {}
@@ -21,6 +23,9 @@ std::vector<uint64_t> VerticalCounter::CountSupports(
   for (size_t i = 0; i < candidates.size(); ++i) {
     counts[i] = index_->CountSupport(candidates[i]);
   }
+  PINCER_CHECK(counts.size() == candidates.size(),
+              "count vector out of step with candidate vector: ",
+              counts.size(), " vs ", candidates.size());
   return counts;
 }
 

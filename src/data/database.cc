@@ -49,7 +49,9 @@ const DynamicBitset& TransactionDatabase::transaction_bits(size_t i) const {
 bool TransactionDatabase::Supports(size_t i, const Itemset& itemset) const {
   const DynamicBitset& bits = transaction_bits(i);
   for (ItemId item : itemset) {
-    if (!bits.Test(item)) return false;
+    // An item outside the universe is contained in no transaction. Probing
+    // the bitset with it is out-of-range (Debug builds assert).
+    if (item >= bits.size() || !bits.Test(item)) return false;
   }
   return true;
 }

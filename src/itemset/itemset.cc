@@ -1,9 +1,10 @@
 #include "itemset/itemset.h"
 
 #include <algorithm>
-#include <cassert>
 #include <numeric>
 #include <sstream>
+
+#include "util/contracts.h"
 
 namespace pincer {
 
@@ -12,13 +13,6 @@ namespace {
 void SortAndDedup(std::vector<ItemId>& items) {
   std::sort(items.begin(), items.end());
   items.erase(std::unique(items.begin(), items.end()), items.end());
-}
-
-[[maybe_unused]] bool IsStrictlyIncreasing(const std::vector<ItemId>& items) {
-  for (size_t i = 1; i < items.size(); ++i) {
-    if (items[i - 1] >= items[i]) return false;
-  }
-  return true;
 }
 
 }  // namespace
@@ -32,7 +26,9 @@ Itemset::Itemset(std::vector<ItemId> items) : items_(std::move(items)) {
 }
 
 Itemset Itemset::FromSorted(std::vector<ItemId> sorted_items) {
-  assert(IsStrictlyIncreasing(sorted_items));
+  // Hot construction path (every join/recovery/prune result flows through
+  // here), so the representation invariant is a Debug-level contract.
+  PINCER_DCHECK_SORTED_UNIQUE(sorted_items);
   Itemset result;
   result.items_ = std::move(sorted_items);
   return result;
@@ -101,7 +97,8 @@ Itemset Itemset::WithItem(ItemId item) const {
 }
 
 Itemset Itemset::Prefix(size_t k) const {
-  assert(k <= items_.size());
+  PINCER_DCHECK(k <= items_.size(), "prefix length ", k,
+                " exceeds itemset size ", items_.size());
   return FromSorted(std::vector<ItemId>(items_.begin(), items_.begin() + k));
 }
 

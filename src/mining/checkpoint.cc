@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "data/database.h"
+#include "util/contracts.h"
 #include "util/failpoint.h"
 #include "util/json_reader.h"
 #include "util/json_writer.h"
@@ -107,6 +108,40 @@ Status ParseItemIds(const JsonValue& array, const char* key,
       return Missing(key);
     }
     out.push_back(static_cast<ItemId>(*id));
+  }
+  return Status::OK();
+}
+
+// Item ids parsed from a checkpoint feed bitset probes and array indexing
+// downstream (counters, PairCountMatrix); an id outside the checkpoint's own
+// declared universe must be rejected here, at the untrusted-input boundary.
+// Itemsets are sorted by construction, so the max id is the last element.
+Status CheckItemsInUniverse(const Itemset& itemset, const char* key,
+                            uint64_t universe) {
+  if (itemset.empty()) return Status::OK();
+  const uint64_t max_id = itemset[itemset.size() - 1];
+  if (max_id >= universe) {
+    return Status::InvalidArgument(
+        std::string("checkpoint: ") + key + " contains item id " +
+        std::to_string(max_id) + " outside the declared universe of " +
+        std::to_string(universe) + " items");
+  }
+  return Status::OK();
+}
+
+Status CheckItemsInUniverse(const std::vector<Itemset>& itemsets,
+                            const char* key, uint64_t universe) {
+  for (const Itemset& itemset : itemsets) {
+    PINCER_RETURN_IF_ERROR(CheckItemsInUniverse(itemset, key, universe));
+  }
+  return Status::OK();
+}
+
+Status CheckItemsInUniverse(const std::vector<FrequentItemset>& elements,
+                            const char* key, uint64_t universe) {
+  for (const FrequentItemset& element : elements) {
+    PINCER_RETURN_IF_ERROR(
+        CheckItemsInUniverse(element.itemset, key, universe));
   }
   return Status::OK();
 }
@@ -245,6 +280,9 @@ std::string Checkpoint::ToJsonString() const {
   WriteFrequentArray(json, support_cache);
   json.Key("singleton_counts");
   WriteU64Array(json, singleton_counts);
+  // Write-side twin of the parse-time validation: a producer handing us an
+  // unsorted pair list is a library bug, not a data error.
+  PINCER_DCHECK_SORTED_UNIQUE(pair_items);
   json.Key("pair_items").BeginArray();
   for (ItemId item : pair_items) json.Value(static_cast<uint64_t>(item));
   json.EndArray();
@@ -328,8 +366,36 @@ StatusOr<Checkpoint> ParseCheckpoint(std::string_view json_text) {
   if (pair_items == nullptr) return Missing("pair_items");
   PINCER_RETURN_IF_ERROR(
       ParseItemIds(*pair_items, "pair_items", checkpoint.pair_items));
+  // The pass-2 matrix restored from this list assumes (and now contracts
+  // on) strictly increasing ids; a crafted or corrupted checkpoint must be
+  // rejected here, at the untrusted-input boundary, not by an abort later.
+  if (!contracts::IsStrictlyIncreasing(checkpoint.pair_items)) {
+    return Status::InvalidArgument(
+        "checkpoint: pair_items must be strictly increasing item ids");
+  }
   PINCER_RETURN_IF_ERROR(
       ParseU64Array(root, "pair_counts", checkpoint.pair_counts));
+
+  const uint64_t universe = checkpoint.database.items;
+  PINCER_RETURN_IF_ERROR(
+      CheckItemsInUniverse(checkpoint.frequent, "frequent", universe));
+  PINCER_RETURN_IF_ERROR(CheckItemsInUniverse(
+      checkpoint.live_candidates, "live_candidates", universe));
+  PINCER_RETURN_IF_ERROR(
+      CheckItemsInUniverse(checkpoint.precounted, "precounted", universe));
+  PINCER_RETURN_IF_ERROR(CheckItemsInUniverse(checkpoint.mfs, "mfs", universe));
+  PINCER_RETURN_IF_ERROR(
+      CheckItemsInUniverse(checkpoint.mfcs, "mfcs", universe));
+  PINCER_RETURN_IF_ERROR(CheckItemsInUniverse(checkpoint.support_cache,
+                                              "support_cache", universe));
+  if (!checkpoint.pair_items.empty() &&
+      checkpoint.pair_items.back() >= universe) {
+    return Status::InvalidArgument(
+        "checkpoint: pair_items contains item id " +
+        std::to_string(checkpoint.pair_items.back()) +
+        " outside the declared universe of " + std::to_string(universe) +
+        " items");
+  }
   return checkpoint;
 }
 

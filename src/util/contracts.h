@@ -1,0 +1,138 @@
+// Runtime contract macros for the invariants the mining machinery silently
+// depends on: sorted duplicate-free itemsets, antichain MFCS/MFS, count
+// vectors aligned with candidate vectors, single-owner thread-pool batches.
+// A violated contract is a bug in this library (never a data error — untrusted
+// input is rejected with Status at the parsing boundaries), so failures print
+// the condition, file:line, and an optional message to stderr and abort().
+//
+// Activation:
+//   PINCER_CHECK / PINCER_CHECK_SORTED_UNIQUE
+//     Cheap boundary checks (O(1) or one linear walk over a value already in
+//     hand). Enabled when the PINCER_CONTRACTS CMake option is ON (the
+//     default, which defines PINCER_CONTRACTS_ENABLED); compiled out — with
+//     the condition left unevaluated — when the option is OFF, so Release
+//     binaries can elide every contract.
+//   PINCER_DCHECK / PINCER_DCHECK_SORTED_UNIQUE
+//     Expensive structural checks (pairwise antichain scans, per-element
+//     sortedness on hot construction paths). Active only when contracts are
+//     enabled AND NDEBUG is not defined (i.e. Debug builds; the CI Debug job
+//     and the sanitizer sweeps run them).
+//   A translation unit may define PINCER_CONTRACTS_FORCE_OFF before its
+//   first include of this header to compile every macro out regardless of
+//   build flags — tests/contracts_elision_test.cc uses this to prove elided
+//   contracts evaluate nothing.
+
+#ifndef PINCER_UTIL_CONTRACTS_H_
+#define PINCER_UTIL_CONTRACTS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <sstream>
+
+#if defined(PINCER_CONTRACTS_FORCE_OFF)
+#define PINCER_CONTRACTS_CHECK_ACTIVE 0
+#elif defined(PINCER_CONTRACTS_ENABLED)
+#define PINCER_CONTRACTS_CHECK_ACTIVE 1
+#else
+#define PINCER_CONTRACTS_CHECK_ACTIVE 0
+#endif
+
+#if PINCER_CONTRACTS_CHECK_ACTIVE && !defined(NDEBUG)
+#define PINCER_CONTRACTS_DCHECK_ACTIVE 1
+#else
+#define PINCER_CONTRACTS_DCHECK_ACTIVE 0
+#endif
+
+/// Compile-time predicates for tests that must branch on contract level.
+#define PINCER_CHECK_IS_ON() (PINCER_CONTRACTS_CHECK_ACTIVE != 0)
+#define PINCER_DCHECK_IS_ON() (PINCER_CONTRACTS_DCHECK_ACTIVE != 0)
+
+namespace pincer {
+namespace contracts {
+
+/// Aborts with a formatted contract-failure report. `macro` names the
+/// failing macro, `condition` its stringified condition; any further
+/// arguments are streamed into the message.
+template <typename... Args>
+[[noreturn]] inline void Fail(const char* macro, const char* condition,
+                              const char* file, int line,
+                              const Args&... args) {
+  std::ostringstream os;
+  os << macro << " failed: " << condition << " (" << file << ":" << line
+     << ")";
+  if constexpr (sizeof...(args) > 0) {
+    os << ": ";
+    (os << ... << args);
+  }
+  os << "\n";
+  std::fputs(os.str().c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// True if `range` is strictly increasing (sorted with no duplicates) —
+/// the representation invariant of Itemset and of every item-id list the
+/// pass-2 fast path and the checkpoint format carry.
+template <typename Range>
+inline bool IsStrictlyIncreasing(const Range& range) {
+  auto it = std::begin(range);
+  const auto end = std::end(range);
+  if (it == end) return true;
+  auto prev = it;
+  for (++it; it != end; ++it, ++prev) {
+    if (!(*prev < *it)) return false;
+  }
+  return true;
+}
+
+}  // namespace contracts
+}  // namespace pincer
+
+/// Swallows a contract condition without evaluating it: the expression stays
+/// syntax- and type-checked (so disabled contracts cannot rot) but has no
+/// runtime effect.
+#define PINCER_CONTRACTS_UNEVALUATED(cond) \
+  static_cast<void>(sizeof((cond) ? 1 : 0))
+
+#if PINCER_CONTRACTS_CHECK_ACTIVE
+#define PINCER_CHECK(cond, ...)                                     \
+  ((cond) ? static_cast<void>(0)                                    \
+          : ::pincer::contracts::Fail("PINCER_CHECK", #cond,        \
+                                      __FILE__, __LINE__            \
+                                      __VA_OPT__(, ) __VA_ARGS__))
+#define PINCER_CHECK_SORTED_UNIQUE(range, ...)                      \
+  (::pincer::contracts::IsStrictlyIncreasing(range)                 \
+       ? static_cast<void>(0)                                       \
+       : ::pincer::contracts::Fail(                                 \
+             "PINCER_CHECK_SORTED_UNIQUE",                          \
+             #range " is sorted and duplicate-free", __FILE__,      \
+             __LINE__ __VA_OPT__(, ) __VA_ARGS__))
+#else
+#define PINCER_CHECK(cond, ...) PINCER_CONTRACTS_UNEVALUATED(cond)
+#define PINCER_CHECK_SORTED_UNIQUE(range, ...) \
+  PINCER_CONTRACTS_UNEVALUATED(                \
+      ::pincer::contracts::IsStrictlyIncreasing(range))
+#endif
+
+#if PINCER_CONTRACTS_DCHECK_ACTIVE
+#define PINCER_DCHECK(cond, ...)                                    \
+  ((cond) ? static_cast<void>(0)                                    \
+          : ::pincer::contracts::Fail("PINCER_DCHECK", #cond,       \
+                                      __FILE__, __LINE__            \
+                                      __VA_OPT__(, ) __VA_ARGS__))
+#define PINCER_DCHECK_SORTED_UNIQUE(range, ...)                     \
+  (::pincer::contracts::IsStrictlyIncreasing(range)                 \
+       ? static_cast<void>(0)                                       \
+       : ::pincer::contracts::Fail(                                 \
+             "PINCER_DCHECK_SORTED_UNIQUE",                         \
+             #range " is sorted and duplicate-free", __FILE__,      \
+             __LINE__ __VA_OPT__(, ) __VA_ARGS__))
+#else
+#define PINCER_DCHECK(cond, ...) PINCER_CONTRACTS_UNEVALUATED(cond)
+#define PINCER_DCHECK_SORTED_UNIQUE(range, ...) \
+  PINCER_CONTRACTS_UNEVALUATED(                 \
+      ::pincer::contracts::IsStrictlyIncreasing(range))
+#endif
+
+#endif  // PINCER_UTIL_CONTRACTS_H_

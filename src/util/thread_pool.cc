@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/contracts.h"
+
 namespace pincer {
 
 size_t ThreadPool::ResolveThreadCount(size_t requested) {
@@ -43,8 +45,15 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::RunBatch(size_t num_tasks,
                           const std::function<void(size_t)>& task) {
   if (num_tasks == 0) return;
+  // Owner-thread contract: one batch at a time, and tasks must not call
+  // back into the pool — a nested RunBatch would execute foreign queue
+  // entries in the drain loop below and deadlock the completion wait.
+  PINCER_CHECK(!in_batch_,
+               "RunBatch re-entered while a batch is still draining");
+  in_batch_ = true;
   if (workers_.empty() || num_tasks == 1) {
     for (size_t i = 0; i < num_tasks; ++i) task(i);
+    in_batch_ = false;
     return;
   }
 
@@ -84,6 +93,7 @@ void ThreadPool::RunBatch(size_t num_tasks,
 
   std::unique_lock<std::mutex> lock(state.mu);
   state.done_cv.wait(lock, [&state] { return state.pending == 0; });
+  in_batch_ = false;
 }
 
 }  // namespace pincer

@@ -54,6 +54,9 @@ class ThreadPool {
   void WorkerLoop();
 
   size_t num_threads_;
+  // True while a batch is draining; guards the single-owner / no-reentrancy
+  // contract (only the owner thread writes it, and only outside workers).
+  bool in_batch_ = false;
   std::vector<std::thread> workers_;
 
   std::mutex mu_;

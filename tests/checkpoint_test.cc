@@ -126,6 +126,56 @@ TEST(Checkpoint, RejectsGarbageAndMissingFields) {
   EXPECT_FALSE(ParseCheckpoint(full.substr(0, full.size() / 2)).ok());
 }
 
+// Regression (found by fuzz_checkpoint): pair_items fed PairCountMatrix,
+// whose contract requires strictly increasing item ids, without any parse
+// validation — a crafted checkpoint with unsorted or duplicate pair_items
+// reached the contract abort instead of a Status. Parse must reject it.
+TEST(Checkpoint, RejectsUnsortedOrDuplicatePairItems) {
+  const std::string full = MakeFullCheckpoint().ToJsonString();
+  const size_t key = full.find("\"pair_items\"");
+  ASSERT_NE(key, std::string::npos);
+  const size_t open = full.find('[', key);
+  const size_t close = full.find(']', open);
+  ASSERT_NE(close, std::string::npos);
+  for (const char* bad : {"[2,1,0]", "[0,1,1]", "[1,0,2]"}) {
+    std::string tampered = full;
+    tampered.replace(open, close - open + 1, bad);
+    const StatusOr<Checkpoint> parsed = ParseCheckpoint(tampered);
+    ASSERT_FALSE(parsed.ok()) << bad;
+    EXPECT_NE(parsed.status().message().find("pair_items"),
+              std::string::npos)
+        << parsed.status().message();
+  }
+}
+
+// Regression (found by fuzz-session review): item ids parsed from a
+// checkpoint were never validated against the checkpoint's own declared
+// universe (database.items), so a crafted document could drive
+// out-of-range bitset probes in the counters on resume. Parse must reject
+// any id >= database.items.
+TEST(Checkpoint, RejectsItemIdsOutsideDeclaredUniverse) {
+  {
+    Checkpoint checkpoint = MakeFullCheckpoint();  // database.items = 20
+    checkpoint.live_candidates.push_back(Itemset{5, 20});
+    const StatusOr<Checkpoint> parsed =
+        ParseCheckpoint(checkpoint.ToJsonString());
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.status().message().find("live_candidates"),
+              std::string::npos)
+        << parsed.status().message();
+  }
+  {
+    Checkpoint checkpoint = MakeFullCheckpoint();
+    checkpoint.mfs.push_back({Itemset{1000000}, 1});
+    EXPECT_FALSE(ParseCheckpoint(checkpoint.ToJsonString()).ok());
+  }
+  {
+    Checkpoint checkpoint = MakeFullCheckpoint();
+    checkpoint.pair_items = {0, 1, 20};
+    EXPECT_FALSE(ParseCheckpoint(checkpoint.ToJsonString()).ok());
+  }
+}
+
 class CheckpointFileTest : public ::testing::Test {
  protected:
   void SetUp() override {

@@ -1,0 +1,44 @@
+// Proves contracts are genuinely elidable: with PINCER_CONTRACTS_FORCE_OFF
+// defined before the first include of contracts.h (the same mechanism a
+// -DPINCER_CONTRACTS=OFF build uses via the absent PINCER_CONTRACTS_ENABLED
+// define), every macro compiles to an unevaluated expression — conditions
+// with side effects run zero times, and failing conditions do not abort.
+//
+// This must be contracts.h's first inclusion in this translation unit, so
+// keep it ahead of any project header that might pull it in transitively.
+
+#define PINCER_CONTRACTS_FORCE_OFF 1
+#include "util/contracts.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace pincer {
+namespace {
+
+TEST(ContractsElisionTest, DisabledChecksEvaluateNothing) {
+  int evaluations = 0;
+  const auto count = [&evaluations] {
+    ++evaluations;
+    return false;  // would abort if evaluated and checked
+  };
+  PINCER_CHECK(count(), "never printed");
+  PINCER_DCHECK(count(), "never printed");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ContractsElisionTest, DisabledSortedUniqueAcceptsAnything) {
+  const std::vector<int> unsorted = {3, 1, 2, 2};
+  PINCER_CHECK_SORTED_UNIQUE(unsorted);   // would abort when enabled
+  PINCER_DCHECK_SORTED_UNIQUE(unsorted);  // likewise
+  SUCCEED();
+}
+
+TEST(ContractsElisionTest, LevelPredicatesReportOff) {
+  EXPECT_FALSE(PINCER_CHECK_IS_ON());
+  EXPECT_FALSE(PINCER_DCHECK_IS_ON());
+}
+
+}  // namespace
+}  // namespace pincer

@@ -72,6 +72,7 @@ void RecordJsonRow(const JsonRow& row, const MiningStats& stats) {
   JsonWriter json(os);
   json.BeginObject();
   json.KeyValue("schema_version", kStatsJsonSchemaVersion);
+  json.KeyValue("schema_minor", kStatsJsonSchemaMinorVersion);
   json.KeyValue("experiment", row.experiment);
   json.KeyValue("database", row.database);
   json.KeyValue("num_transactions",

@@ -237,6 +237,7 @@ int main(int argc, char** argv) {
     JsonWriter json(out);
     json.BeginObject();
     json.KeyValue("schema_version", kStatsJsonSchemaVersion);
+    json.KeyValue("schema_minor", kStatsJsonSchemaMinorVersion);
     json.KeyValue("tool", "mine_cli");
     json.KeyValue("input", path);
     json.KeyValue("algorithm", AlgorithmName(algorithm));

@@ -1,0 +1,389 @@
+#!/usr/bin/env python3
+"""Markdown link and anchor checker for the Pincer-Search docs (CI job
+`docs-check`).
+
+Checks every tracked `*.md` file:
+
+  broken-link     an inline `[text](target)` or image `![alt](target)`
+                  whose relative target does not exist on disk.
+  broken-anchor   a `#fragment` (same-file or `file.md#fragment`) that
+                  matches no heading in the target document, using
+                  GitHub's heading-slug rules (lowercase, punctuation
+                  stripped, spaces to dashes, duplicates suffixed -1,
+                  -2, ...).
+  absolute-link   a filesystem-absolute target (`/root/...`) — doc links
+                  must be repo-relative so they survive clones.
+  unresolved-ref  a reference-style `[text][label]` with no matching
+                  `[label]: target` definition.
+
+External targets (http/https/mailto) are recorded but not fetched — the
+checker never touches the network, so CI stays hermetic. Links inside
+fenced code blocks and inline code spans are ignored, as are headings
+inside fences.
+
+Usage:
+  scripts/check_docs.py              check all tracked *.md; exit 1 on findings
+  scripts/check_docs.py FILE...      check specific files
+  scripts/check_docs.py --self-test  verify every rule fires on a seeded case
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) and ![alt](target); target may be <angle-bracketed> and
+# may carry a "title". Text is kept simple: no nested brackets.
+INLINE_LINK = re.compile(r"!?\[([^\]]*)\]\(\s*(<[^>]*>|[^)\s]*)[^)]*\)")
+# [text][label] — reference-style use (the trailing [] form included).
+REFERENCE_LINK = re.compile(r"(?<!\])\[([^\]]+)\]\[([^\]]*)\]")
+# [label]: target — reference definition, one per line.
+REFERENCE_DEF = re.compile(r"^\s{0,3}\[([^\]]+)\]:\s+(\S+)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+FENCE = re.compile(r"^\s*(```|~~~)")
+EXTERNAL = re.compile(r"^(https?|mailto|ftp):", re.IGNORECASE)
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def rel(path: Path) -> str:
+    try:
+        return path.resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def strip_inline_code(line: str) -> str:
+    """Blanks the contents of `inline code` spans (backtick-delimited).
+
+    Replaces span contents with spaces of the same length so column
+    positions of everything outside the spans are preserved.
+    """
+    out = list(line)
+    i = 0
+    n = len(line)
+    while i < n:
+        if line[i] == "`":
+            run = 1
+            while i + run < n and line[i + run] == "`":
+                run += 1
+            close = line.find("`" * run, i + run)
+            if close == -1:
+                i += run
+                continue
+            for j in range(i, close + run):
+                out[j] = " "
+            i = close + run
+        else:
+            i += 1
+    return "".join(out)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line (markdown already stripped
+    of the leading #s). Inline code ticks and link syntax are removed the
+    way the renderer does: only the visible text contributes."""
+    text = heading.strip()
+    # `code` renders as its contents; [text](target) renders as text.
+    text = text.replace("`", "")
+    text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.lower()
+    # Keep word characters, spaces, and hyphens; drop everything else.
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(text: str) -> set[str]:
+    """All anchor slugs a markdown document exposes, with GitHub's
+    duplicate suffixing (-1, -2, ...)."""
+    anchors: set[str] = set()
+    counts: dict[str, int] = {}
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
+
+
+def clean_target(raw: str) -> str:
+    target = raw.strip()
+    if target.startswith("<") and target.endswith(">"):
+        target = target[1:-1]
+    return target
+
+
+class DocSet:
+    """Resolves link targets against the working tree, caching the anchor
+    sets of markdown files so each target is parsed once."""
+
+    def __init__(self) -> None:
+        self._anchors: dict[Path, set[str]] = {}
+
+    def anchors_of(self, path: Path) -> set[str]:
+        resolved = path.resolve()
+        if resolved not in self._anchors:
+            try:
+                text = resolved.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError):
+                text = ""
+            self._anchors[resolved] = heading_anchors(text)
+        return self._anchors[resolved]
+
+
+def check_target(
+    path: Path,
+    lineno: int,
+    target: str,
+    own_text: str,
+    docs: DocSet,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    if not target or EXTERNAL.match(target):
+        return findings
+    if target.startswith("/"):
+        findings.append(
+            Finding(
+                path,
+                lineno,
+                "absolute-link",
+                f"'{target}' is filesystem-absolute; use a repo-relative "
+                "path",
+            )
+        )
+        return findings
+
+    file_part, _, fragment = target.partition("#")
+    if file_part:
+        dest = (path.parent / file_part).resolve()
+        if not dest.exists():
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "broken-link",
+                    f"'{file_part}' does not exist "
+                    f"(resolved {rel(Path(dest))})",
+                )
+            )
+            return findings
+        if fragment and dest.suffix == ".md":
+            if fragment.lower() not in docs.anchors_of(dest):
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "broken-anchor",
+                        f"'#{fragment}' matches no heading in "
+                        f"{rel(Path(dest))}",
+                    )
+                )
+    elif fragment:
+        if fragment.lower() not in heading_anchors(own_text):
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "broken-anchor",
+                    f"'#{fragment}' matches no heading in this file",
+                )
+            )
+    return findings
+
+
+def check_file(path: Path, text: str, docs: DocSet) -> list[Finding]:
+    findings: list[Finding] = []
+    lines = text.splitlines()
+
+    definitions: dict[str, str] = {}
+    in_fence = False
+    for line in lines:
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = REFERENCE_DEF.match(line)
+        if match:
+            definitions[match.group(1).lower()] = clean_target(match.group(2))
+
+    in_fence = False
+    for lineno, raw in enumerate(lines, start=1):
+        if FENCE.match(raw):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        line = strip_inline_code(raw)
+        if REFERENCE_DEF.match(line):
+            continue
+
+        for match in INLINE_LINK.finditer(line):
+            target = clean_target(match.group(2))
+            findings.extend(check_target(path, lineno, target, text, docs))
+
+        for match in REFERENCE_LINK.finditer(line):
+            label = (match.group(2) or match.group(1)).lower()
+            if label not in definitions:
+                findings.append(
+                    Finding(
+                        path,
+                        lineno,
+                        "unresolved-ref",
+                        f"reference link '[{label}]' has no "
+                        "matching [label]: target definition",
+                    )
+                )
+            else:
+                findings.extend(
+                    check_target(
+                        path, lineno, definitions[label], text, docs
+                    )
+                )
+
+    return findings
+
+
+def tracked_markdown() -> list[Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "*.md"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout
+    return [REPO_ROOT / name for name in out.splitlines()]
+
+
+def run(paths: list[Path]) -> int:
+    docs = DocSet()
+    findings: list[Finding] = []
+    for path in paths:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as err:
+            print(f"{path}: unreadable: {err}", file=sys.stderr)
+            return 2
+        findings.extend(check_file(path, text, docs))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"check_docs.py: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"check_docs.py: {len(paths)} file(s) clean")
+    return 0
+
+
+# name -> (doc content, files to create alongside). Cases ending in -ok
+# must produce no findings; everything else must fire.
+SELF_TEST_CASES: dict[str, tuple[str, dict[str, str]]] = {
+    "broken-link": ("[x](missing.md)\n", {}),
+    "broken-link-exists-ok": ("[x](other.md)\n", {"other.md": "# T\n"}),
+    "broken-anchor-same-file": ("# Top\n[x](#nope)\n", {}),
+    "broken-anchor-same-file-ok": ("# My Heading!\n[x](#my-heading)\n", {}),
+    "broken-anchor-cross-file": (
+        "[x](other.md#nope)\n",
+        {"other.md": "# Title\n"},
+    ),
+    "broken-anchor-cross-file-ok": (
+        "[x](other.md#the-title)\n",
+        {"other.md": "# The `Title`\n"},
+    ),
+    "duplicate-heading-suffix-ok": (
+        "# A\n# A\n[x](#a)\n[y](#a-1)\n",
+        {},
+    ),
+    "absolute-link": ("[x](/etc/hosts)\n", {}),
+    "unresolved-ref": ("see [x][no-such-label]\n", {}),
+    "unresolved-ref-defined-ok": (
+        "see [x][lbl]\n\n[lbl]: other.md\n",
+        {"other.md": "# T\n"},
+    ),
+    "external-ok": ("[x](https://example.com/nope#frag)\n", {}),
+    "fenced-code-ok": ("```\n[x](missing.md)\n```\n", {}),
+    "inline-code-ok": ("see `[x](missing.md)` for syntax\n", {}),
+    "image-broken-link": ("![alt](missing.png)\n", {}),
+}
+
+
+def self_test() -> int:
+    failures = 0
+    for name, (content, extra_files) in SELF_TEST_CASES.items():
+        expect_clean = name.endswith("-ok")
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            for fname, ftext in extra_files.items():
+                (root / fname).write_text(ftext)
+            doc = root / "doc.md"
+            doc.write_text(content)
+            findings = check_file(doc, content, DocSet())
+        ok = (not findings) if expect_clean else bool(findings)
+        status = "PASS" if ok else "FAIL"
+        if not ok:
+            failures += 1
+        detail = "; ".join(str(f) for f in findings) or "clean"
+        print(f"[{status}] {name}: {detail}")
+    # End-to-end: a seeded broken link on disk must make the CLI exit
+    # nonzero.
+    with tempfile.TemporaryDirectory() as tmp:
+        bad = Path(tmp) / "seeded.md"
+        bad.write_text("[x](definitely-missing.md)\n")
+        proc = subprocess.run(
+            [sys.executable, __file__, str(bad)], capture_output=True
+        )
+        if proc.returncode == 0:
+            print("[FAIL] cli-seeded-violation: expected nonzero exit")
+            failures += 1
+        else:
+            print("[PASS] cli-seeded-violation")
+    if failures:
+        print(
+            f"check_docs.py --self-test: {failures} failure(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print("check_docs.py --self-test: all rules fire")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", type=Path)
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="seed one violation per rule and verify each fires",
+    )
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    paths = args.files or tracked_markdown()
+    return run(paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

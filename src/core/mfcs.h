@@ -9,7 +9,14 @@
 //
 // MFCS-gen performs millions of subset tests on long itemsets per pass, so
 // every element carries a uniformly-sized bitset over the item universe and
-// tests run word-wise.
+// tests run word-wise — and the elements can additionally be indexed in an
+// AntichainIndex, so locating the supersets of an infrequent itemset and
+// checking replacement coverage become row-AND queries instead of scans
+// over the whole element list. The index is a lazily rebuilt cache: a
+// per-query cost model picks between it and the dense bitset scan, because
+// each regime has a clear winner — few near-universe-sized elements (the
+// pass-1 descent) favor the dense scan, a fragmented set of small elements
+// favors the index (see docs/algorithm_internals.md).
 
 #ifndef PINCER_CORE_MFCS_H_
 #define PINCER_CORE_MFCS_H_
@@ -17,11 +24,14 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/antichain_index.h"
 #include "core/mfs.h"
 #include "itemset/dynamic_bitset.h"
 #include "itemset/itemset.h"
 
 namespace pincer {
+
+class ThreadPool;
 
 /// Unclassified portion of the maximum frequent candidate set. Elements are
 /// pairwise incomparable by construction.
@@ -41,6 +51,15 @@ class Mfcs {
   /// keeps resumed runs bit-identical to uninterrupted ones). The elements
   /// are trusted to be pairwise incomparable — they came from elements().
   Mfcs(size_t num_items, const std::vector<Itemset>& elements);
+
+  /// Attaches a worker pool for the split step of Update. Optional: without
+  /// a pool (or with a 1-thread pool) the split runs inline. The pool is
+  /// borrowed, not owned, and must outlive this object (or be replaced by
+  /// another set_thread_pool call). Results are bit-identical at any thread
+  /// count: the parallel phase computes read-only coverage verdicts and a
+  /// serial merge then replays them in the exact element order the serial
+  /// algorithm uses.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
   /// The MFCS-gen algorithm: for each infrequent itemset s, every element m
   /// with s ⊆ m is replaced by the |s| itemsets m \ {e} (e ∈ s), each kept
@@ -84,17 +103,41 @@ class Mfcs {
   size_t size() const { return items_.size(); }
   bool empty() const { return items_.empty(); }
 
+  /// Milliseconds spent in index queries and maintenance since the last
+  /// call, then resets the accumulator. The driver drains this after each
+  /// Update to report it as the `mfcs_index_ms` phase (disjoint from
+  /// `mfcs_update_ms`, which keeps the rest of the split step).
+  double ConsumeIndexMillis();
+
  private:
   DynamicBitset BitsOf(const Itemset& itemset) const;
 
-  // True if some element's bitset is a superset of `bits`.
-  bool CoveredInternally(const DynamicBitset& bits) const;
+  // Appends an element to items_/bits_ and marks the index cache stale.
+  void AppendElement(Itemset item, DynamicBitset bits);
+
+  // Rebuilds the index from items_ if any mutation happened since the last
+  // rebuild. After the call, slot j of index_ is exactly position j of
+  // items_. Called only from serial code (it mutates the cache); the
+  // rebuilt index's const queries are then safe to run concurrently.
+  void FreshenIndex() const;
 
   size_t universe_;
   // Parallel arrays: items_[j] is the sorted form, bits_[j] the bitset form
   // (size universe_) of element j.
   std::vector<Itemset> items_;
   std::vector<DynamicBitset> bits_;
+  // Running Σ|items_[j]| — the cost of one index rebuild, maintained so the
+  // query-vs-scan cost model can price a rebuild without a pass over items_.
+  size_t total_item_count_ = 0;
+  // Lazily rebuilt query cache over items_ (slot j == position j). Eager
+  // maintenance would cost O(|element|) per churn — ruinous in the pass-1
+  // descent, where every split detaches and appends near-universe-sized
+  // elements and the cost model never consults the index at all. Mutable:
+  // rebuilding the cache does not change the logical state.
+  mutable AntichainIndex index_;
+  mutable bool index_stale_ = true;
+  ThreadPool* pool_ = nullptr;
+  double index_millis_ = 0.0;
 };
 
 }  // namespace pincer

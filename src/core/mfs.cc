@@ -12,44 +12,40 @@ namespace {
 // small enough not to turn Debug mining runs quadratic in wall clock.
 constexpr size_t kAntichainDcheckLimit = 64;
 
-DynamicBitset BitsOf(const Itemset& itemset) {
-  const size_t universe =
-      itemset.empty() ? 0 : static_cast<size_t>(itemset[itemset.size() - 1]) + 1;
-  DynamicBitset bits(universe);
-  for (ItemId item : itemset) bits.Set(item);
-  return bits;
-}
-
 }  // namespace
 
-bool Mfs::ElementContains(size_t j, const Itemset& itemset) const {
-  if (itemset.size() > elements_[j].itemset.size()) return false;
-  const DynamicBitset& bits = bits_[j];
-  for (ItemId item : itemset) {
-    if (item >= bits.size() || !bits.Test(item)) return false;
-  }
-  return true;
-}
-
 bool Mfs::Add(const Itemset& itemset, uint64_t support) {
-  for (size_t j = 0; j < elements_.size(); ++j) {
-    if (ElementContains(j, itemset)) return false;
-  }
-  // Evict existing elements subsumed by the newcomer.
-  size_t write = 0;
-  for (size_t j = 0; j < elements_.size(); ++j) {
-    if (!elements_[j].itemset.IsSubsetOf(itemset)) {
-      if (write != j) {
-        elements_[write] = std::move(elements_[j]);
-        bits_[write] = std::move(bits_[j]);
-      }
-      ++write;
-    }
-  }
-  elements_.resize(write);
-  bits_.resize(write);
+  if (index_.ContainsSupersetOf(itemset)) return false;
 
-  bits_.push_back(BitsOf(itemset));
+  // Evict existing elements subsumed by the newcomer. SubsetsOf returns
+  // slots in ascending slot order; compaction must run in ascending
+  // *position* order to stay order-preserving.
+  std::vector<size_t> evicted = index_.SubsetsOf(itemset);
+  if (!evicted.empty()) {
+    for (size_t& slot : evicted) slot = pos_of_slot_[slot];
+    std::sort(evicted.begin(), evicted.end());
+    size_t next = 0;
+    size_t write = evicted[0];
+    for (size_t j = write; j < elements_.size(); ++j) {
+      if (next < evicted.size() && evicted[next] == j) {
+        index_.Remove(slots_[j], elements_[j].itemset);
+        ++next;
+      } else {
+        elements_[write] = std::move(elements_[j]);
+        slots_[write] = slots_[j];
+        pos_of_slot_[slots_[write]] = write;
+        ++write;
+      }
+    }
+    elements_.resize(write);
+    slots_.resize(write);
+  }
+
+  max_element_size_ = std::max(max_element_size_, itemset.size());
+  const size_t slot = index_.Add(itemset);
+  if (slot >= pos_of_slot_.size()) pos_of_slot_.resize(slot + 1, 0);
+  pos_of_slot_[slot] = elements_.size();
+  slots_.push_back(slot);
   elements_.push_back({itemset, support});
   PINCER_DCHECK(elements_.size() > kAntichainDcheckLimit || IsAntichain(),
                 "MFS holds comparable elements after Add of ",
@@ -60,17 +56,20 @@ bool Mfs::Add(const Itemset& itemset, uint64_t support) {
 bool Mfs::IsAntichain() const {
   for (size_t i = 0; i < elements_.size(); ++i) {
     for (size_t j = 0; j < elements_.size(); ++j) {
-      if (i != j && ElementContains(j, elements_[i].itemset)) return false;
+      if (i != j &&
+          elements_[i].itemset.IsSubsetOf(elements_[j].itemset)) {
+        return false;
+      }
     }
   }
   return true;
 }
 
 bool Mfs::CoveredBy(const Itemset& itemset) const {
-  for (size_t j = 0; j < elements_.size(); ++j) {
-    if (ElementContains(j, itemset)) return true;
-  }
-  return false;
+  // A superset is at least as large as the query; longer-than-anything
+  // queries are refused without a row walk (see max_element_size()).
+  if (itemset.size() > max_element_size_) return false;
+  return index_.ContainsSupersetOf(itemset);
 }
 
 std::vector<Itemset> Mfs::Itemsets() const { return ItemsetsOf(elements_); }

@@ -8,7 +8,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "itemset/dynamic_bitset.h"
+#include "core/antichain_index.h"
 #include "itemset/itemset.h"
 #include "mining/frequent_itemset.h"
 
@@ -19,8 +19,9 @@ namespace pincer {
 /// element is a no-op, and adding a superset evicts the subsumed elements.
 ///
 /// Coverage queries are the hot path of the new prune procedure and of
-/// MFCS-gen, so each element carries a bitset over its items and CoveredBy
-/// runs in O(|query|) bit probes per element.
+/// MFCS-gen, so the elements are mirrored in an AntichainIndex: CoveredBy is
+/// an AND of |query| slot-bitmap rows instead of a scan over all elements,
+/// and Add locates subsumed elements with one counting pass.
 class Mfs {
  public:
   Mfs() = default;
@@ -33,6 +34,15 @@ class Mfs {
   /// new prune procedure and of line 8 of the main algorithm ("subsets of
   /// itemsets in MFS").
   bool CoveredBy(const Itemset& itemset) const;
+
+  /// Size of the largest element ever inserted (an upper bound on the
+  /// current largest: evictions do not shrink it). Any query longer than
+  /// this cannot be covered, so callers — and CoveredBy itself — use it to
+  /// refuse oversized queries before touching the index; the MFCS descent
+  /// produces near-universe-sized replacement queries against an MFS of
+  /// short maximal itemsets, where this gate answers essentially every
+  /// coverage check for free.
+  size_t max_element_size() const { return max_element_size_; }
 
   size_t size() const { return elements_.size(); }
   bool empty() const { return elements_.empty(); }
@@ -52,12 +62,14 @@ class Mfs {
   std::vector<FrequentItemset> Sorted() const;
 
  private:
-  // Bit i of bits_[j] is set iff item i is in elements_[j] (bitsets are
-  // sized to each element's own max item; probe with Contains()).
-  bool ElementContains(size_t j, const Itemset& itemset) const;
-
   std::vector<FrequentItemset> elements_;
-  std::vector<DynamicBitset> bits_;
+  // Index over the elements: slots_[j] is the index slot of elements_[j],
+  // pos_of_slot_[slots_[j]] == j (stale entries for freed slots are never
+  // read — slot lookups always come from live index query results).
+  AntichainIndex index_;
+  std::vector<size_t> slots_;
+  std::vector<size_t> pos_of_slot_;
+  size_t max_element_size_ = 0;
 };
 
 }  // namespace pincer

@@ -47,6 +47,7 @@ class PincerDriver {
       counter_->set_metrics(&stats_.counting);
     }
     stats_.num_threads = pool_->num_threads();
+    mfcs_.set_thread_pool(pool_.get());
   }
 
   MaximalSetResult Run();
@@ -90,6 +91,16 @@ class PincerDriver {
   // itemsets, so maintenance is abandoned before paying for the update.
   void UpdateMfcs(const std::vector<Itemset>& infrequent, size_t pass_number,
                   size_t pass_frequent_count = SIZE_MAX);
+
+  // Moves the index time the MFCS accumulated during the enclosing
+  // mfcs_update_ms timer scope into the pass's mfcs_index_ms, keeping the
+  // two phases disjoint. Called right after each such scope closes; the
+  // clamp absorbs sub-tick skew between the two clocks.
+  void DrainMfcsIndexTime(PassStats& pass) {
+    const double index_ms = mfcs_.ConsumeIndexMillis();
+    pass.mfcs_index_ms += index_ms;
+    pass.mfcs_update_ms = std::max(0.0, pass.mfcs_update_ms - index_ms);
+  }
 
   // Adaptive policy trigger (§3.5): abandon MFCS maintenance for the rest
   // of the run. Maximality is recovered at the end from the bottom-up log.
@@ -325,8 +336,11 @@ void PincerDriver::CountAndClassifyMfcs(PassStats& pass) {
   }
   // Infrequent elements stay in the set: MFCS-gen matches each as its own
   // superset and replaces it with its one-item-removed subsets.
-  ScopedMsTimer timer(pass.mfcs_update_ms);
-  UpdateMfcs(infrequent, pass.pass);
+  {
+    ScopedMsTimer timer(pass.mfcs_update_ms);
+    UpdateMfcs(infrequent, pass.pass);
+  }
+  DrainMfcsIndexTime(pass);
 }
 
 std::vector<Itemset> PincerDriver::PassOne() {
@@ -374,6 +388,7 @@ std::vector<Itemset> PincerDriver::PassOne() {
     ScopedMsTimer timer(pass.mfcs_update_ms);
     UpdateMfcs(infrequent, 1, pass.num_frequent);
   }
+  DrainMfcsIndexTime(pass);
 
   // L_1 := frequent 1-itemsets minus subsets of MFS elements (line 8) — or,
   // after an adaptive switch-off, the complete frequent 1-set.
@@ -516,6 +531,7 @@ std::vector<Itemset> PincerDriver::PassTwo(
     ScopedMsTimer timer(pass.mfcs_update_ms);
     UpdateMfcs(infrequent, 2, pass.num_frequent);
   }
+  DrainMfcsIndexTime(pass);
 
   // Re-apply line 8 with the MFS as updated this pass — or rebuild the
   // complete L_2 if the adaptive policy switched off during this pass.
@@ -577,6 +593,7 @@ std::vector<Itemset> PincerDriver::PassK(size_t k,
     ScopedMsTimer timer(pass.mfcs_update_ms);
     UpdateMfcs(infrequent, k, pass.num_frequent);
   }
+  DrainMfcsIndexTime(pass);
 
   // Line 8: remove subsets of MFS elements found this pass — or rebuild the
   // complete L_k if the adaptive policy switched off during this pass.
@@ -645,6 +662,7 @@ Status PincerDriver::Restore(const Checkpoint& checkpoint) {
   // Elements are restored in serialized (insertion) order, keeping the
   // resumed run's MFCS-gen behaviour identical to the uninterrupted run's.
   mfcs_ = Mfcs(db_.num_items(), checkpoint.mfcs);
+  mfcs_.set_thread_pool(pool_.get());
   for (const FrequentItemset& fi : checkpoint.support_cache) {
     cache_.emplace(fi.itemset, fi.support);
   }

@@ -243,6 +243,13 @@ Status ParseStats(const JsonValue& obj, MiningStats& stats) {
     PINCER_RETURN_IF_ERROR(GetDouble(entry, "counting_ms", pass.counting_ms));
     PINCER_RETURN_IF_ERROR(
         GetDouble(entry, "mfcs_update_ms", pass.mfcs_update_ms));
+    // Schema v1.1 addition: absent in checkpoints written by older
+    // binaries, which must keep resuming (a pure addition cannot invalidate
+    // the version-1 format).
+    if (entry.Find("mfcs_index_ms") != nullptr) {
+      PINCER_RETURN_IF_ERROR(
+          GetDouble(entry, "mfcs_index_ms", pass.mfcs_index_ms));
+    }
     stats.per_pass.push_back(pass);
   }
   return Status::OK();

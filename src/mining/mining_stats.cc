@@ -45,6 +45,7 @@ void PassStats::ToJson(JsonWriter& json) const {
   json.KeyValue("candidate_gen_ms", candidate_gen_ms);
   json.KeyValue("counting_ms", counting_ms);
   json.KeyValue("mfcs_update_ms", mfcs_update_ms);
+  json.KeyValue("mfcs_index_ms", mfcs_index_ms);
   json.EndObject();
 }
 

@@ -56,8 +56,14 @@ struct PassStats {
   /// unclassified MFCS elements.
   double counting_ms = 0.0;
   /// Wall time maintaining the MFCS this pass: MFCS-gen updates, cache
-  /// resolution, and MFS migration (0 for Apriori).
+  /// resolution, and MFS migration (0 for Apriori). Excludes the index
+  /// time reported separately below.
   double mfcs_update_ms = 0.0;
+  /// Wall time in the antichain index during MFCS maintenance: superset
+  /// location and replacement-coverage queries (schema v1.1 addition;
+  /// disjoint from mfcs_update_ms, so the phase timers still sum to at
+  /// most the pass wall time; 0 for Apriori).
+  double mfcs_index_ms = 0.0;
 
   /// Emits this pass as one JSON object (see EXPERIMENTS.md for the
   /// schema).

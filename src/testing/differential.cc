@@ -207,7 +207,7 @@ std::vector<std::string> CheckStatsInvariants(const MiningStats& stats,
            number(pass.num_candidates) + " candidates");
     }
     if (pass.candidate_gen_ms < 0 || pass.counting_ms < 0 ||
-        pass.mfcs_update_ms < 0) {
+        pass.mfcs_update_ms < 0 || pass.mfcs_index_ms < 0) {
       fail("pass " + number(pass.pass) + " has a negative phase timer");
     }
     sum_candidates += pass.num_candidates;

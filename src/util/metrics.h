@@ -25,6 +25,12 @@ class JsonWriter;
 /// renamed, removed, or changes meaning; pure additions keep the version.
 inline constexpr int kStatsJsonSchemaVersion = 1;
 
+/// Minor schema revision, bumped on pure additions so consumers can probe
+/// for new fields without sniffing keys. Currently 1 (= "v1.1"): adds the
+/// per-pass `mfcs_index_ms` phase timer. Documents written by older
+/// binaries simply lack the `schema_minor` key (read it as 0).
+inline constexpr int kStatsJsonSchemaMinorVersion = 1;
+
 /// Aggregate work counters a SupportCounter backend fills in while
 /// counting. Collection is opt-in (MiningOptions::collect_counter_metrics):
 /// when no sink is attached the backends skip all bookkeeping, so the hook

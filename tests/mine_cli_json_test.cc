@@ -69,6 +69,8 @@ TEST_P(MineCliJsonTest, StatsJsonMatchesInProcessRun) {
 
   // Header identity.
   EXPECT_EQ(doc->Find("schema_version")->number, 1.0);
+  ASSERT_NE(doc->Find("schema_minor"), nullptr);
+  EXPECT_EQ(doc->Find("schema_minor")->number, 1.0);
   EXPECT_EQ(doc->Find("tool")->string, "mine_cli");
   EXPECT_EQ(doc->Find("algorithm")->string, algorithm);
   EXPECT_EQ(doc->Find("input")->string, basket_path);

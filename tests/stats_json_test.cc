@@ -98,6 +98,7 @@ TEST_P(StatsJsonTest, JsonMatchesStructAndText) {
     EXPECT_GE(row.Find("candidate_gen_ms")->number, 0.0);
     EXPECT_GE(row.Find("counting_ms")->number, 0.0);
     EXPECT_GE(row.Find("mfcs_update_ms")->number, 0.0);
+    EXPECT_GE(row.Find("mfcs_index_ms")->number, 0.0);
     // total_candidates counts both the bottom-up candidates and the MFCS
     // elements counted top-down in the same pass (the paper's §4.1.1
     // accounting), so the per-pass rows add up across both columns.
@@ -148,8 +149,8 @@ TEST(StatsJsonTest, PhaseTimesSumBelowElapsed) {
       MineMaximal(db, options, Algorithm::kPincerAdaptive);
   double phase_sum = 0.0;
   for (const PassStats& pass : result.stats.per_pass) {
-    phase_sum +=
-        pass.candidate_gen_ms + pass.counting_ms + pass.mfcs_update_ms;
+    phase_sum += pass.candidate_gen_ms + pass.counting_ms +
+                 pass.mfcs_update_ms + pass.mfcs_index_ms;
   }
   EXPECT_GT(phase_sum, 0.0);
   // The phases are disjoint slices of the run, so their sum cannot exceed

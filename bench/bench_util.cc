@@ -129,7 +129,8 @@ BenchConfig ParseBenchArgs(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scale=N] [--full] [--backend=trie|hash_tree|"
-                   "linear|vertical] [--threads=N] [--skip-apriori] "
+                   "linear|vertical|parallel|auto] [--threads=N] "
+                   "[--skip-apriori] "
                    "[--budget=MS] [--json=FILE]\n",
                    argv[0]);
       std::exit(2);

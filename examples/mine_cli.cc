@@ -4,7 +4,11 @@
 //   ./mine_cli <database.basket> [options]
 //     --min-support=0.01         fraction of |D| (default 0.01)
 //     --algorithm=pincer         apriori | pincer | pincer-adaptive
-//     --backend=trie             trie | hash_tree | linear | vertical
+//     --backend=trie             trie | hash_tree | linear | vertical |
+//                                parallel | auto (auto picks trie or
+//                                vertical per pass from a deterministic
+//                                cost model; the pick lands in the stats
+//                                as per-pass backend_used)
 //     --threads=1                counting worker threads (0 = all cores);
 //                                results are identical for every value
 //     --rules=<min_confidence>   also generate association rules
@@ -50,7 +54,8 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " <database.basket> [--min-support=F] "
                "[--algorithm=apriori|pincer|pincer-adaptive] "
-               "[--backend=trie|hash_tree|linear|vertical] [--threads=N] "
+               "[--backend=trie|hash_tree|linear|vertical|parallel|auto] "
+               "[--threads=N] "
                "[--rules=MIN_CONFIDENCE] [--stats] [--stats-json=FILE] "
                "[--malformed=strict|skip] [--checkpoint=FILE] [--resume]\n";
   return 2;

@@ -116,6 +116,8 @@ FrequentSetResult AprioriRun(const TransactionDatabase& db,
           singles.push_back(Itemset{item});
         }
         counts = counter->CountSupports(singles);
+        pass.backend_used =
+            std::string(CounterBackendName(counter->backend_used()));
       }
     }
     if (scan_budget != nullptr && scan_budget->exceeded()) {
@@ -186,6 +188,8 @@ FrequentSetResult AprioriRun(const TransactionDatabase& db,
           ScopedMsTimer count_timer(pass.counting_ms);
           counts = counter->CountSupports(pairs);
         }
+        pass.backend_used =
+            std::string(CounterBackendName(counter->backend_used()));
         if (scan_budget != nullptr && scan_budget->exceeded()) {
           stats.aborted = true;
           finish();
@@ -241,6 +245,8 @@ FrequentSetResult AprioriRun(const TransactionDatabase& db,
       ScopedMsTimer count_timer(pass.counting_ms);
       counts = counter->CountSupports(candidates);
     }
+    pass.backend_used =
+        std::string(CounterBackendName(counter->backend_used()));
     if (scan_budget != nullptr && scan_budget->exceeded()) {
       stats.aborted = true;
       break;

@@ -238,6 +238,8 @@ FrequentSetResult AprioriCombinedRun(const TransactionDatabase& db,
       pass.num_candidates = batch.size();
       pass.candidate_gen_ms = gen_ms;
       pass.counting_ms = counting_ms;
+      pass.backend_used =
+          std::string(CounterBackendName(counter->backend_used()));
       stats.total_candidates += batch.size();
       stats.reported_candidates += batch.size();
 

@@ -152,6 +152,14 @@ class PincerDriver {
     return scan_aborted_;
   }
 
+  // Records which backend served the generic CountSupports call that just
+  // ran (under kAuto, the adaptive per-pass pick). Called after each such
+  // call; passes served entirely by the §4.1.1 array fast paths keep the
+  // "array" default.
+  void RecordBackendUsed(PassStats& pass) {
+    pass.backend_used = std::string(CounterBackendName(counter_->backend_used()));
+  }
+
   // Hands the sink a snapshot for resuming at `next_pass` with live
   // candidates `lk`. `elapsed_ms` is the cumulative wall clock (checkpoint
   // base + this run so far).
@@ -316,6 +324,7 @@ void PincerDriver::CountAndClassifyMfcs(PassStats& pass) {
     ScopedMsTimer timer(pass.counting_ms);
     counts = counter_->CountSupports(elements);
   }
+  RecordBackendUsed(pass);
   // Tallies and classification only after a completed scan: an aborted scan
   // returns partial counts, which must leave no trace.
   if (ScanAborted()) return;
@@ -361,6 +370,7 @@ std::vector<Itemset> PincerDriver::PassOne() {
         singles.push_back(Itemset{item});
       }
       singleton_counts_ = counter_->CountSupports(singles);
+      RecordBackendUsed(pass);
     }
   }
   if (ScanAborted()) return {};
@@ -498,6 +508,7 @@ std::vector<Itemset> PincerDriver::PassTwo(
       ScopedMsTimer timer(pass.counting_ms);
       counts = counter_->CountSupports(pairs);
     }
+    RecordBackendUsed(pass);
     if (ScanAborted()) return {};
     // Same §3.5 pre-check as the array path: classify the raw counts first
     // so a huge infrequent batch disables MFCS maintenance *before*
@@ -573,6 +584,7 @@ std::vector<Itemset> PincerDriver::PassK(size_t k,
       ScopedMsTimer timer(pass.counting_ms);
       counts = counter_->CountSupports(candidates);
     }
+    RecordBackendUsed(pass);
     if (ScanAborted()) return {};
     stats_.total_candidates += candidates.size();
     stats_.reported_candidates += candidates.size();

@@ -1,0 +1,73 @@
+#include "counting/adaptive_counter.h"
+
+#include "counting/trie_counter.h"
+#include "counting/vertical_counter.h"
+
+namespace pincer {
+
+AdaptiveCounter::AdaptiveCounter(const TransactionDatabase& db) : db_(db) {
+  for (size_t tid = 0; tid < db.size(); ++tid) {
+    total_occurrences_ += db.transaction(tid).size();
+  }
+  // Both children exist from the start: the vertical index's one-time
+  // transpose is setup cost here, never part of a pass's counting_ms, and
+  // the cost model stays a pure function of shape (no "index built yet"
+  // history term that resume could disagree with).
+  horizontal_ = std::make_unique<TrieCounter>(db_);
+  vertical_ = std::make_unique<VerticalCounter>(db_);
+}
+
+CounterBackend AdaptiveCounter::ChooseBackend(size_t num_rows,
+                                              uint64_t total_occurrences,
+                                              size_t num_nonempty_candidates,
+                                              uint64_t intersect_steps) {
+  // Nothing to count: every answer is |D|, no structure is touched — stay
+  // horizontal so the recorded pick matches the cheapest path.
+  if (num_nonempty_candidates == 0) return CounterBackend::kTrie;
+  const uint64_t words = (static_cast<uint64_t>(num_rows) + 63) / 64;
+  const uint64_t vertical_cost = intersect_steps * words;
+  const uint64_t horizontal_cost =
+      total_occurrences * kHorizontalItemCostInWordOps;
+  return vertical_cost < horizontal_cost ? CounterBackend::kVertical
+                                         : CounterBackend::kTrie;
+}
+
+SupportCounter& AdaptiveCounter::Delegate(CounterBackend pick) {
+  return pick == CounterBackend::kVertical ? *vertical_ : *horizontal_;
+}
+
+std::vector<uint64_t> AdaptiveCounter::CountSupports(
+    const std::vector<Itemset>& candidates) {
+  size_t num_nonempty = 0;
+  uint64_t intersect_steps = 0;
+  for (const Itemset& candidate : candidates) {
+    if (candidate.empty()) continue;
+    ++num_nonempty;
+    intersect_steps +=
+        candidate.size() > 1 ? static_cast<uint64_t>(candidate.size()) - 1 : 1;
+  }
+  const CounterBackend pick = ChooseBackend(
+      db_.size(), total_occurrences_, num_nonempty, intersect_steps);
+  last_used_ = pick;
+  return Delegate(pick).CountSupports(candidates);
+}
+
+void AdaptiveCounter::set_metrics(CountingMetrics* metrics) {
+  metrics_ = metrics;
+  horizontal_->set_metrics(metrics);
+  vertical_->set_metrics(metrics);
+}
+
+void AdaptiveCounter::set_thread_pool(ThreadPool* pool) {
+  pool_ = pool;
+  horizontal_->set_thread_pool(pool);
+  vertical_->set_thread_pool(pool);
+}
+
+void AdaptiveCounter::set_scan_budget(ScanBudget* budget) {
+  budget_ = budget;
+  horizontal_->set_scan_budget(budget);
+  vertical_->set_scan_budget(budget);
+}
+
+}  // namespace pincer

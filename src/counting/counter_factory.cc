@@ -1,5 +1,6 @@
 #include "counting/counter_factory.h"
 
+#include "counting/adaptive_counter.h"
 #include "counting/hash_tree.h"
 #include "counting/linear_counter.h"
 #include "counting/parallel_counter.h"
@@ -20,6 +21,8 @@ std::string_view CounterBackendName(CounterBackend backend) {
       return "vertical";
     case CounterBackend::kParallel:
       return "parallel";
+    case CounterBackend::kAuto:
+      return "auto";
   }
   return "unknown";
 }
@@ -49,15 +52,18 @@ std::unique_ptr<SupportCounter> CreateCounter(CounterBackend backend,
     case CounterBackend::kParallel:
       counter = std::make_unique<ParallelCounter>(db);
       break;
+    case CounterBackend::kAuto:
+      counter = std::make_unique<AdaptiveCounter>(db);
+      break;
   }
   if (counter != nullptr) counter->set_thread_pool(pool);
   return counter;
 }
 
 std::vector<CounterBackend> AllCounterBackends() {
-  return {CounterBackend::kLinear, CounterBackend::kHashTree,
-          CounterBackend::kTrie, CounterBackend::kVertical,
-          CounterBackend::kParallel};
+  return {CounterBackend::kLinear,   CounterBackend::kHashTree,
+          CounterBackend::kTrie,     CounterBackend::kVertical,
+          CounterBackend::kParallel, CounterBackend::kAuto};
 }
 
 }  // namespace pincer

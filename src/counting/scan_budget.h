@@ -24,6 +24,14 @@ namespace pincer {
 /// Rows between deadline polls inside a chunked scan.
 inline constexpr size_t kScanAbortCheckRows = 4096;
 
+/// Candidates between deadline polls inside a vertical (bitmap) count. One
+/// vertical candidate costs O(|itemset| * |D|/64) word operations — far more
+/// than one scanned row — so the cadence is correspondingly denser than
+/// kScanAbortCheckRows. Like the row cadence, a batch shorter than one
+/// slice never polls mid-count, so tiny batches complete whole even under
+/// an already-expired budget.
+inline constexpr size_t kVerticalBudgetCheckCandidates = 64;
+
 /// A shared deadline for the scanning backends. Thread-safe: workers of a
 /// pooled scan poll and latch it concurrently.
 class ScanBudget {

@@ -24,12 +24,17 @@ namespace pincer {
 /// per-item transaction bitmaps.
 /// kParallel is the trie walk distributed over worker threads (§5's
 /// parallel-mining direction).
+/// kAuto picks between the horizontal trie and the vertical bitmaps per
+/// CountSupports call from a deterministic cost model over the database
+/// density and the candidate batch shape (see counting/adaptive_counter.h);
+/// the pick is recorded per pass as PassStats::backend_used.
 enum class CounterBackend {
   kLinear,
   kHashTree,
   kTrie,
   kVertical,
   kParallel,
+  kAuto,
 };
 
 std::string_view CounterBackendName(CounterBackend backend);
@@ -50,29 +55,38 @@ class SupportCounter {
   /// Backend identifier for logs and stats.
   virtual CounterBackend backend() const = 0;
 
+  /// Backend that actually performed the most recent CountSupports call.
+  /// Identical to backend() for every static backend; the adaptive kAuto
+  /// wrapper overrides it to report its per-call pick so the miners can
+  /// record PassStats::backend_used.
+  virtual CounterBackend backend_used() const { return backend(); }
+
   /// Attaches an observability sink: subsequent CountSupports calls
   /// accumulate aggregate work counters into `*metrics`, which must outlive
   /// the counter's use. Null (the default) disables collection; backends
   /// only touch the sink behind one per-call null test, so the disabled
   /// hook adds no measurable counting overhead (see EXPERIMENTS.md).
-  void set_metrics(CountingMetrics* metrics) { metrics_ = metrics; }
+  /// Virtual so that delegating backends (kAuto) can forward the sink to
+  /// the counters they wrap.
+  virtual void set_metrics(CountingMetrics* metrics) { metrics_ = metrics; }
 
   /// Attaches a shared worker pool (must outlive the counter's use): the
-  /// transaction-scanning backends then split each scan into per-worker
-  /// chunks with privately accumulated counts, merged in worker order —
-  /// counts stay bit-identical to the serial scan. Null (the default) or a
-  /// single-thread pool keeps the scan serial; backends that never scan
-  /// rows (vertical) ignore the pool.
-  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  /// transaction-scanning backends split each scan into per-worker chunks
+  /// with privately accumulated counts, merged in worker order, and the
+  /// vertical backend splits its candidate batch into contiguous per-worker
+  /// ranges whose counts land in disjoint slots of the result vector — in
+  /// both cases counts stay bit-identical to the serial run. Null (the
+  /// default) or a single-thread pool keeps the work serial.
+  virtual void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
   /// Attaches a cooperative scan deadline (must outlive the counter's use):
-  /// the transaction-scanning backends then poll it every
-  /// kScanAbortCheckRows rows and stop mid-scan once it expires, leaving
-  /// the returned counts partial — the caller must test
-  /// budget->exceeded() after every CountSupports call and discard the
-  /// counts when set. Null (the default) disables polling; the vertical
-  /// backend, which never scans rows, ignores the budget.
-  void set_scan_budget(ScanBudget* budget) { budget_ = budget; }
+  /// the transaction-scanning backends poll it every kScanAbortCheckRows
+  /// rows, and the vertical backend every kVerticalBudgetCheckCandidates
+  /// candidates; once it expires they stop mid-count, leaving the returned
+  /// counts partial — the caller must test budget->exceeded() after every
+  /// CountSupports call and discard the counts when set. Null (the default)
+  /// disables polling.
+  virtual void set_scan_budget(ScanBudget* budget) { budget_ = budget; }
 
  protected:
   CountingMetrics* metrics_ = nullptr;

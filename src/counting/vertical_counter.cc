@@ -1,14 +1,31 @@
 #include "counting/vertical_counter.h"
 
+#include "counting/scan_budget.h"
 #include "util/contracts.h"
 
 namespace pincer {
 
-VerticalCounter::VerticalCounter(const TransactionDatabase& db) : db_(db) {}
+VerticalCounter::VerticalCounter(const TransactionDatabase& db)
+    : db_(db), index_(db) {}
+
+void VerticalCounter::CountRange(const std::vector<Itemset>& candidates,
+                                 size_t begin, size_t end,
+                                 DynamicBitset& scratch,
+                                 std::vector<uint64_t>& counts) {
+  for (size_t i = begin; i < end; ++i) {
+    if (budget_ != nullptr && i > begin &&
+        (i - begin) % kVerticalBudgetCheckCandidates == 0 &&
+        budget_->Check()) {
+      return;
+    }
+    counts[i] = candidates[i].empty()
+                    ? db_.size()
+                    : index_.CountSupport(candidates[i], scratch);
+  }
+}
 
 std::vector<uint64_t> VerticalCounter::CountSupports(
     const std::vector<Itemset>& candidates) {
-  if (index_ == nullptr) index_ = std::make_unique<VerticalIndex>(db_);
   if (metrics_ != nullptr) {
     // The vertical backend reads per-item bitmaps, not database rows;
     // transactions_scanned stays 0 by design (see CountingMetrics docs).
@@ -19,9 +36,31 @@ std::vector<uint64_t> VerticalCounter::CountSupports(
       if (!candidate.empty()) ++metrics_->candidates_counted;
     }
   }
-  std::vector<uint64_t> counts(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    counts[i] = index_->CountSupport(candidates[i]);
+  std::vector<uint64_t> counts(candidates.size(), 0);
+  // One contiguous candidate range per worker. Every slot of `counts` is
+  // written by exactly one worker with an exact popcount, so the result is
+  // bit-identical at any thread count; no merge step is needed.
+  size_t chunks = 1;
+  if (pool_ != nullptr) {
+    const size_t by_candidates =
+        candidates.size() / kMinCandidatesPerVerticalWorker;
+    chunks = pool_->num_threads() < by_candidates ? pool_->num_threads()
+                                                  : by_candidates;
+    if (chunks < 1) chunks = 1;
+  }
+  if (chunks <= 1) {
+    DynamicBitset scratch;
+    CountRange(candidates, 0, candidates.size(), scratch, counts);
+  } else {
+    const size_t per_chunk = (candidates.size() + chunks - 1) / chunks;
+    pool_->RunBatch(chunks, [&](size_t chunk) {
+      const size_t begin = chunk * per_chunk;
+      const size_t end = begin + per_chunk < candidates.size()
+                             ? begin + per_chunk
+                             : candidates.size();
+      DynamicBitset scratch;
+      CountRange(candidates, begin, end, scratch, counts);
+    });
   }
   PINCER_CHECK(counts.size() == candidates.size(),
               "count vector out of step with candidate vector: ",

@@ -1,22 +1,42 @@
 // Vertical counting: per-item transaction bitmaps intersected per candidate.
 // Independent of the horizontal scan order, which makes it a good
-// cross-check backend in the test suite.
+// cross-check backend in the test suite — and, since each candidate is an
+// independent word-level intersect-and-popcount, the backend of choice for
+// dense databases with deep candidate sets (see counting/adaptive_counter.h
+// for the selection policy).
 
 #ifndef PINCER_COUNTING_VERTICAL_COUNTER_H_
 #define PINCER_COUNTING_VERTICAL_COUNTER_H_
-
-#include <memory>
 
 #include "counting/support_counter.h"
 #include "data/vertical_index.h"
 
 namespace pincer {
 
-/// SupportCounter that lazily builds a VerticalIndex on first use and
-/// answers each candidate by bitmap intersection.
+/// Candidates per worker below which splitting a vertical batch across the
+/// pool is not worth the dispatch: small batches run serially whatever the
+/// pool size.
+inline constexpr size_t kMinCandidatesPerVerticalWorker = 16;
+
+/// SupportCounter that builds its VerticalIndex at construction — the
+/// one-time O(|D|) transpose is setup cost, not counting cost, so it never
+/// lands in any pass's counting_ms and per-pass timings stay comparable
+/// across backends — and answers each candidate by bitmap intersection into
+/// a reusable per-worker scratch accumulator.
+///
+/// With an attached ThreadPool the candidate batch is split into contiguous
+/// per-worker ranges; every candidate's count is an exact, independent
+/// popcount written to its own slot of the result vector, so the result is
+/// bit-identical at any thread count (the disjoint-slot analogue of
+/// ChunkedCountScan's chunk-ordered merge). With an attached ScanBudget the
+/// deadline is polled every kVerticalBudgetCheckCandidates candidates and
+/// the count stops mid-batch once it expires — the caller must test
+/// budget->exceeded() and discard the partial counts, exactly as with the
+/// scanning backends.
 class VerticalCounter : public SupportCounter {
  public:
-  /// Binds to `db`, which must outlive this counter.
+  /// Binds to `db` (which must outlive this counter) and builds the
+  /// per-item bitmap index up front.
   explicit VerticalCounter(const TransactionDatabase& db);
 
   std::vector<uint64_t> CountSupports(
@@ -25,8 +45,15 @@ class VerticalCounter : public SupportCounter {
   CounterBackend backend() const override { return CounterBackend::kVertical; }
 
  private:
+  // Counts candidates[begin, end) into the matching slots of `counts`,
+  // reusing `scratch` across candidates and polling `budget_` every
+  // kVerticalBudgetCheckCandidates candidates (never before the first).
+  void CountRange(const std::vector<Itemset>& candidates, size_t begin,
+                  size_t end, DynamicBitset& scratch,
+                  std::vector<uint64_t>& counts);
+
   const TransactionDatabase& db_;
-  std::unique_ptr<VerticalIndex> index_;
+  VerticalIndex index_;
 };
 
 }  // namespace pincer

@@ -12,20 +12,34 @@ VerticalIndex::VerticalIndex(const TransactionDatabase& db)
   }
 }
 
-uint64_t VerticalIndex::CountSupport(const Itemset& itemset) const {
+uint64_t VerticalIndex::CountSupport(const Itemset& itemset,
+                                     DynamicBitset& scratch) const {
+  // Short itemsets never touch the accumulator: size 1 is a popcount of one
+  // tidset, size 2 a fused intersect-and-popcount — no materialized
+  // intersection at all.
   if (itemset.empty()) return num_transactions_;
   if (itemset.size() == 1) return tidsets_[itemset[0]].Count();
-  DynamicBitset acc = tidsets_[itemset[0]];
-  for (size_t i = 1; i + 1 < itemset.size(); ++i) {
-    acc &= tidsets_[itemset[i]];
+  const DynamicBitset& last = tidsets_[itemset[itemset.size() - 1]];
+  if (itemset.size() == 2) return tidsets_[itemset[0]].IntersectionCount(last);
+  // Size >= 3: one word-level AND into the reusable scratch (no allocation
+  // once its capacity covers |D|), then chain in-place ANDs, finishing with
+  // the fused intersect-and-popcount against the final tidset.
+  scratch.AssignAnd(tidsets_[itemset[0]], tidsets_[itemset[1]]);
+  for (size_t i = 2; i + 1 < itemset.size(); ++i) {
+    scratch &= tidsets_[itemset[i]];
   }
-  return acc.IntersectionCount(tidsets_[itemset[itemset.size() - 1]]);
+  return scratch.IntersectionCount(last);
+}
+
+uint64_t VerticalIndex::CountSupport(const Itemset& itemset) const {
+  DynamicBitset scratch;
+  return CountSupport(itemset, scratch);
 }
 
 DynamicBitset VerticalIndex::TidsOf(const Itemset& itemset) const {
   if (itemset.empty()) {
     DynamicBitset all(num_transactions_);
-    for (size_t tid = 0; tid < num_transactions_; ++tid) all.Set(tid);
+    all.SetAll();
     return all;
   }
   DynamicBitset acc = tidsets_[itemset[0]];

@@ -34,6 +34,13 @@ class VerticalIndex {
   /// itemset is supported by every transaction.
   uint64_t CountSupport(const Itemset& itemset) const;
 
+  /// As above, but accumulates the intersection in `scratch` instead of a
+  /// per-call copy of the first tidset. The hot-loop form: callers counting
+  /// many candidates hand the same scratch to every call, so the allocation
+  /// happens once, not per candidate. `scratch` is overwritten; any prior
+  /// contents are ignored.
+  uint64_t CountSupport(const Itemset& itemset, DynamicBitset& scratch) const;
+
   /// Materializes the intersection bitmap of `itemset` (the tidset of the
   /// itemset).
   DynamicBitset TidsOf(const Itemset& itemset) const;

@@ -22,6 +22,17 @@ void DynamicBitset::Clear() {
   for (auto& word : words_) word = 0;
 }
 
+void DynamicBitset::SetAll() {
+  if (num_bits_ == 0) return;
+  for (auto& word : words_) word = ~uint64_t{0};
+  // Mask the tail so bits in [num_bits_, capacity) stay zero — Count() and
+  // the word-level intersection kernels depend on clean tail bits.
+  const size_t tail_bits = num_bits_ % kBitsPerWord;
+  if (tail_bits != 0) {
+    words_.back() = (uint64_t{1} << tail_bits) - 1;
+  }
+}
+
 bool DynamicBitset::Test(size_t index) const {
   assert(index < num_bits_);
   return (words_[index / kBitsPerWord] >> (index % kBitsPerWord)) & 1;
@@ -51,7 +62,17 @@ bool DynamicBitset::Intersects(const DynamicBitset& other) const {
 
 DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
   assert(num_bits_ == other.num_bits_);
-  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  uint64_t* out = words_.data();
+  const uint64_t* w = other.words_.data();
+  const size_t n = words_.size();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    out[i] &= w[i];
+    out[i + 1] &= w[i + 1];
+    out[i + 2] &= w[i + 2];
+    out[i + 3] &= w[i + 3];
+  }
+  for (; i < n; ++i) out[i] &= w[i];
   return *this;
 }
 
@@ -63,11 +84,41 @@ DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
 
 size_t DynamicBitset::IntersectionCount(const DynamicBitset& other) const {
   assert(num_bits_ == other.num_bits_);
-  size_t total = 0;
-  for (size_t i = 0; i < words_.size(); ++i) {
-    total += std::popcount(words_[i] & other.words_[i]);
+  const uint64_t* a = words_.data();
+  const uint64_t* b = other.words_.data();
+  const size_t n = words_.size();
+  // Four independent popcount accumulators per iteration: breaks the loop's
+  // serial dependence so the compiler can vectorize / pipeline it. Integer
+  // addition is associative, so the result is bit-identical to the scalar
+  // loop for any word count.
+  size_t t0 = 0, t1 = 0, t2 = 0, t3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    t0 += std::popcount(a[i] & b[i]);
+    t1 += std::popcount(a[i + 1] & b[i + 1]);
+    t2 += std::popcount(a[i + 2] & b[i + 2]);
+    t3 += std::popcount(a[i + 3] & b[i + 3]);
   }
-  return total;
+  for (; i < n; ++i) t0 += std::popcount(a[i] & b[i]);
+  return t0 + t1 + t2 + t3;
+}
+
+void DynamicBitset::AssignAnd(const DynamicBitset& a, const DynamicBitset& b) {
+  assert(a.num_bits_ == b.num_bits_);
+  num_bits_ = a.num_bits_;
+  words_.resize(a.words_.size());
+  uint64_t* out = words_.data();
+  const uint64_t* wa = a.words_.data();
+  const uint64_t* wb = b.words_.data();
+  const size_t n = words_.size();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    out[i] = wa[i] & wb[i];
+    out[i + 1] = wa[i + 1] & wb[i + 1];
+    out[i + 2] = wa[i + 2] & wb[i + 2];
+    out[i + 3] = wa[i + 3] & wb[i + 3];
+  }
+  for (; i < n; ++i) out[i] = wa[i] & wb[i];
 }
 
 }  // namespace pincer

@@ -35,6 +35,11 @@ class DynamicBitset {
   /// Sets all bits to 0 (keeps the size).
   void Clear();
 
+  /// Sets all bits to 1 (keeps the size). Word-level fill: the partial tail
+  /// word is masked so bits beyond size() stay zero, preserving the
+  /// invariant Count() and the intersection kernels rely on.
+  void SetAll();
+
   /// Returns bit `index`.
   bool Test(size_t index) const;
 
@@ -60,8 +65,16 @@ class DynamicBitset {
 
   /// Number of set bits in (*this & other) without materializing the
   /// intersection. Requires equal sizes. This is the hot loop of the
-  /// vertical counting engine.
+  /// vertical counting engine: a 4-at-a-time unrolled intersect-and-popcount
+  /// over whole words (auto-vectorizable; bit-identical to the scalar loop,
+  /// which the bitset tests verify against a per-bit reference).
   size_t IntersectionCount(const DynamicBitset& other) const;
+
+  /// Overwrites this bitset with (a & b) in one word-level pass, resizing to
+  /// match. Requires a.size() == b.size(). Unlike `x = a; x &= b;` this
+  /// never allocates when the capacity already fits — the vertical counting
+  /// engine reuses one scratch accumulator across all candidates.
+  void AssignAnd(const DynamicBitset& a, const DynamicBitset& b);
 
   friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
     return a.num_bits_ == b.num_bits_ && a.words_ == b.words_;

@@ -250,6 +250,11 @@ Status ParseStats(const JsonValue& obj, MiningStats& stats) {
       PINCER_RETURN_IF_ERROR(
           GetDouble(entry, "mfcs_index_ms", pass.mfcs_index_ms));
     }
+    // Schema v1.2 addition, optional for the same reason.
+    if (entry.Find("backend_used") != nullptr) {
+      PINCER_RETURN_IF_ERROR(
+          GetString(entry, "backend_used", pass.backend_used));
+    }
     stats.per_pass.push_back(pass);
   }
   return Status::OK();

@@ -29,7 +29,8 @@ std::string MiningStats::ToString() const {
        << " mfcs_candidates=" << pass.num_mfcs_candidates
        << " frequent=" << pass.num_frequent
        << " mfs_found=" << pass.num_mfs_found
-       << " mfcs_after=" << pass.mfcs_size_after << "\n";
+       << " mfcs_after=" << pass.mfcs_size_after
+       << " backend=" << pass.backend_used << "\n";
   }
   return os.str();
 }
@@ -46,6 +47,7 @@ void PassStats::ToJson(JsonWriter& json) const {
   json.KeyValue("counting_ms", counting_ms);
   json.KeyValue("mfcs_update_ms", mfcs_update_ms);
   json.KeyValue("mfcs_index_ms", mfcs_index_ms);
+  json.KeyValue("backend_used", backend_used);
   json.EndObject();
 }
 

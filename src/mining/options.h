@@ -23,6 +23,11 @@ struct MiningOptions {
   double min_support = 0.01;
 
   /// Counting backend for passes >= 3 (and for MFCS elements in all passes).
+  /// kAuto picks the trie or the vertical bitmaps per pass from a
+  /// deterministic cost model (counting/adaptive_counter.h); the per-pass
+  /// pick is recorded as PassStats::backend_used. Result-invariant: every
+  /// backend computes identical counts, so this knob (like num_threads) is
+  /// excluded from the checkpoint options fingerprint.
   CounterBackend backend = CounterBackend::kTrie;
 
   /// Use the Özden et al. array fast paths for passes 1 and 2 (§4.1.1).

@@ -210,6 +210,16 @@ std::vector<std::string> CheckStatsInvariants(const MiningStats& stats,
         pass.mfcs_update_ms < 0 || pass.mfcs_index_ms < 0) {
       fail("pass " + number(pass.pass) + " has a negative phase timer");
     }
+    // backend_used names the backend that actually served the pass: a
+    // concrete CounterBackendName, or "array" for fast-path-only passes.
+    // "auto" in particular must never appear — the adaptive wrapper reports
+    // its per-pass pick, not itself.
+    if (pass.backend_used != "array" && pass.backend_used != "linear" &&
+        pass.backend_used != "hash_tree" && pass.backend_used != "trie" &&
+        pass.backend_used != "vertical" && pass.backend_used != "parallel") {
+      fail("pass " + number(pass.pass) + " has invalid backend_used \"" +
+           pass.backend_used + "\"");
+    }
     sum_candidates += pass.num_candidates;
     sum_mfcs += pass.num_mfcs_candidates;
     if (pass.pass >= 3) reported_tail += pass.num_candidates;
@@ -294,6 +304,11 @@ std::vector<std::string> CheckStatsInvariants(const MiningStats& stats,
     fail("stats JSON per_pass array has " +
          number(CountJsonKey(json, "pass")) + " object(s), struct has " +
          number(stats.per_pass.size()));
+  }
+  if (CountJsonKey(json, "backend_used") != stats.per_pass.size()) {
+    fail("stats JSON emits " + number(CountJsonKey(json, "backend_used")) +
+         " backend_used value(s) for " + number(stats.per_pass.size()) +
+         " pass record(s)");
   }
   return violations;
 }

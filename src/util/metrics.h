@@ -26,10 +26,13 @@ class JsonWriter;
 inline constexpr int kStatsJsonSchemaVersion = 1;
 
 /// Minor schema revision, bumped on pure additions so consumers can probe
-/// for new fields without sniffing keys. Currently 1 (= "v1.1"): adds the
-/// per-pass `mfcs_index_ms` phase timer. Documents written by older
-/// binaries simply lack the `schema_minor` key (read it as 0).
-inline constexpr int kStatsJsonSchemaMinorVersion = 1;
+/// for new fields without sniffing keys. Currently 2 (= "v1.2"): adds the
+/// per-pass `backend_used` string — the counting backend that served the
+/// pass (under backend=auto the adaptive per-pass pick, "array" for
+/// fast-path-only passes). v1.1 (= 1) added the per-pass `mfcs_index_ms`
+/// phase timer. Documents written by older binaries simply lack the
+/// `schema_minor` key (read it as 0).
+inline constexpr int kStatsJsonSchemaMinorVersion = 2;
 
 /// Aggregate work counters a SupportCounter backend fills in while
 /// counting. Collection is opt-in (MiningOptions::collect_counter_metrics):

@@ -1,0 +1,141 @@
+// Tests for the adaptive (backend=auto) counter: the per-batch pick must be
+// a pure function of database and batch shape (so identical runs and
+// checkpoint resumes re-derive identical picks), counts must match both
+// children bit for bit, and backend_used must surface the pick — never
+// "auto" itself.
+
+#include <gtest/gtest.h>
+
+#include "counting/adaptive_counter.h"
+#include "counting/counter_factory.h"
+#include "mining/miner.h"
+#include "testing/db_builder.h"
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+
+namespace pincer {
+namespace {
+
+TEST(AdaptiveCounter, ChooseBackendIsPureAndDeterministic) {
+  // Same shape, same pick — the property the CI determinism smoke job
+  // depends on. Spot-check both regimes of the cost model.
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    // Sparse-wide: cheap rows, heavy candidate load -> horizontal.
+    EXPECT_EQ(AdaptiveCounter::ChooseBackend(
+                  /*num_rows=*/10000, /*total_occurrences=*/50000,
+                  /*num_nonempty_candidates=*/100000,
+                  /*intersect_steps=*/300000),
+              CounterBackend::kTrie);
+    // Dense-deep: fat rows, few candidates -> vertical.
+    EXPECT_EQ(AdaptiveCounter::ChooseBackend(
+                  /*num_rows=*/100, /*total_occurrences=*/2000,
+                  /*num_nonempty_candidates=*/50, /*intersect_steps=*/500),
+              CounterBackend::kVertical);
+    // Nothing to count -> horizontal (empty batches are answered as |D|).
+    EXPECT_EQ(AdaptiveCounter::ChooseBackend(
+                  /*num_rows=*/100, /*total_occurrences=*/2000,
+                  /*num_nonempty_candidates=*/0, /*intersect_steps=*/0),
+              CounterBackend::kTrie);
+  }
+}
+
+TEST(AdaptiveCounter, CountsMatchBothStaticChildren) {
+  RandomDbParams params;
+  params.num_items = 14;
+  params.num_transactions = 120;
+  params.item_probability = 0.4;
+  params.seed = 31;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+
+  std::vector<Itemset> batch = {Itemset{0},       Itemset{1, 2},
+                                Itemset{3, 4, 5}, Itemset{},
+                                Itemset{0, 13},   Itemset{2, 4, 6, 8}};
+  auto adaptive = CreateCounter(CounterBackend::kAuto, db);
+  auto trie = CreateCounter(CounterBackend::kTrie, db);
+  auto vertical = CreateCounter(CounterBackend::kVertical, db);
+  const std::vector<uint64_t> counts = adaptive->CountSupports(batch);
+  EXPECT_EQ(counts, trie->CountSupports(batch));
+  EXPECT_EQ(counts, vertical->CountSupports(batch));
+}
+
+TEST(AdaptiveCounter, BackendUsedReportsThePickNeverAuto) {
+  const TransactionDatabase db = MakeDatabase({{0, 1, 2}, {0, 1}, {2}});
+  auto counter = CreateCounter(CounterBackend::kAuto, db);
+  EXPECT_EQ(counter->backend(), CounterBackend::kAuto);
+  // Before any call the default pick is reported.
+  EXPECT_NE(counter->backend_used(), CounterBackend::kAuto);
+  counter->CountSupports({Itemset{0, 1}, Itemset{2}});
+  const CounterBackend used = counter->backend_used();
+  EXPECT_TRUE(used == CounterBackend::kTrie ||
+              used == CounterBackend::kVertical)
+      << CounterBackendName(used);
+}
+
+TEST(AdaptiveCounter, EmptyAndAllEmptyBatchesStayHorizontal) {
+  const TransactionDatabase db = MakeDatabase({{0, 1}, {2}});
+  auto counter = CreateCounter(CounterBackend::kAuto, db);
+  EXPECT_TRUE(counter->CountSupports({}).empty());
+  EXPECT_EQ(counter->CountSupports({Itemset{}, Itemset{}}),
+            (std::vector<uint64_t>{2, 2}));
+  EXPECT_EQ(counter->backend_used(), CounterBackend::kTrie);
+}
+
+TEST(AdaptiveCounter, ForwardsAttachmentsToBothChildren) {
+  // Metrics attached after construction must reach whichever child serves
+  // the next call, and a pool attached later must reach both children too.
+  const TransactionDatabase db =
+      MakeDatabase({{0, 1, 2}, {0, 1}, {1, 2}, {0, 2}});
+  auto counter = CreateCounter(CounterBackend::kAuto, db);
+  CountingMetrics metrics;
+  counter->set_metrics(&metrics);
+  counter->CountSupports({Itemset{0}, Itemset{1, 2}});
+  EXPECT_EQ(metrics.count_calls, 1u);
+  EXPECT_EQ(metrics.candidates_counted, 2u);
+
+  ThreadPool pool(2);
+  counter->set_thread_pool(&pool);
+  counter->CountSupports({Itemset{0}, Itemset{1, 2}});
+  EXPECT_EQ(metrics.count_calls, 2u);
+}
+
+TEST(AdaptiveCounter, IdenticalRunsPickIdenticalBackendsPerPass) {
+  // Two identical end-to-end runs under backend=auto must record the same
+  // backend_used sequence (and the same mined result) — the in-process
+  // version of the CI determinism smoke job.
+  RandomDbParams params;
+  params.num_items = 14;
+  params.num_transactions = 100;
+  params.item_probability = 0.45;
+  params.seed = 77;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  MiningOptions options;
+  options.min_support = 0.15;
+  options.backend = CounterBackend::kAuto;
+
+  const MaximalSetResult first =
+      MineMaximal(db, options, Algorithm::kPincerAdaptive);
+  const MaximalSetResult second =
+      MineMaximal(db, options, Algorithm::kPincerAdaptive);
+  EXPECT_EQ(first.mfs, second.mfs);
+  ASSERT_EQ(first.stats.per_pass.size(), second.stats.per_pass.size());
+  for (size_t i = 0; i < first.stats.per_pass.size(); ++i) {
+    EXPECT_EQ(first.stats.per_pass[i].backend_used,
+              second.stats.per_pass[i].backend_used)
+        << "pass " << first.stats.per_pass[i].pass;
+    EXPECT_NE(first.stats.per_pass[i].backend_used, "auto");
+  }
+}
+
+TEST(AdaptiveCounter, StaticBackendsReportThemselvesAsUsed) {
+  const TransactionDatabase db = MakeDatabase({{0, 1}, {1}});
+  for (CounterBackend backend : AllCounterBackends()) {
+    if (backend == CounterBackend::kAuto) continue;
+    auto counter = CreateCounter(backend, db);
+    counter->CountSupports({Itemset{1}});
+    EXPECT_EQ(counter->backend_used(), backend)
+        << CounterBackendName(backend);
+  }
+}
+
+}  // namespace
+}  // namespace pincer

@@ -127,6 +127,8 @@ TEST(CounterFactory, BackendNamesAreDistinct) {
   EXPECT_EQ(CounterBackendName(CounterBackend::kHashTree), "hash_tree");
   EXPECT_EQ(CounterBackendName(CounterBackend::kTrie), "trie");
   EXPECT_EQ(CounterBackendName(CounterBackend::kVertical), "vertical");
+  EXPECT_EQ(CounterBackendName(CounterBackend::kParallel), "parallel");
+  EXPECT_EQ(CounterBackendName(CounterBackend::kAuto), "auto");
 }
 
 // The 3-argument factory overload attaches the shared pool to every

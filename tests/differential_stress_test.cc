@@ -123,11 +123,15 @@ TEST(DifferentialStress, ResumeMatchesUninterruptedRunEverywhere) {
        {Algorithm::kApriori, Algorithm::kAprioriCombined, Algorithm::kPincer,
         Algorithm::kPincerAdaptive}) {
     for (const bool fast_path : {true, false}) {
+     for (const CounterBackend backend :
+          {CounterBackend::kTrie, CounterBackend::kAuto}) {
       MiningOptions options;
       options.min_support = 0.05;
       options.use_array_fast_path = fast_path;
+      options.backend = backend;
       const std::string context = std::string(AlgorithmName(algorithm)) +
-                                  (fast_path ? "/fast" : "/generic");
+                                  (fast_path ? "/fast" : "/generic") + "/" +
+                                  std::string(CounterBackendName(backend));
 
       std::vector<Checkpoint> checkpoints;
       MiningOptions recording = options;
@@ -150,11 +154,19 @@ TEST(DifferentialStress, ResumeMatchesUninterruptedRunEverywhere) {
             << resumed.status();
         EXPECT_EQ(resumed->mfs, reference.mfs)
             << context << " resumed at pass " << checkpoint.next_pass;
+        // The per-pass backend pick is re-derived on resume, never read
+        // back from the checkpoint — under kAuto the resumed run's passes
+        // must still record a concrete pick, never "auto".
+        for (const PassStats& pass : resumed->stats.per_pass) {
+          EXPECT_NE(pass.backend_used, "auto")
+              << context << " resumed at pass " << checkpoint.next_pass;
+        }
         ++resumes_checked;
       }
+     }
     }
   }
-  EXPECT_GE(resumes_checked, 16u);
+  EXPECT_GE(resumes_checked, 32u);
 }
 
 TEST(DifferentialStress, CheckStatsInvariantsFlagsBrokenStats) {

@@ -84,6 +84,67 @@ TEST(DynamicBitset, IntersectionCount) {
   EXPECT_EQ(a.IntersectionCount(b), 14u);
 }
 
+TEST(DynamicBitset, SetAllMasksTailWord) {
+  // Sizes straddling the word boundary: the tail word must stay masked or
+  // Count()/IntersectionCount() over-report.
+  for (const size_t size : {1u, 63u, 64u, 65u, 127u, 128u, 129u, 200u}) {
+    DynamicBitset bits(size);
+    bits.SetAll();
+    EXPECT_EQ(bits.size(), size) << size;
+    EXPECT_EQ(bits.Count(), size) << size;
+    for (size_t i = 0; i < size; ++i) EXPECT_TRUE(bits.Test(i)) << size;
+    // AND with all-ones must be the identity — fails if tail garbage leaks.
+    DynamicBitset probe(size);
+    probe.Set(size - 1);
+    EXPECT_EQ(probe.IntersectionCount(bits), 1u) << size;
+  }
+}
+
+TEST(DynamicBitset, SetAllOnEmptyBitset) {
+  DynamicBitset bits(0);
+  bits.SetAll();
+  EXPECT_EQ(bits.size(), 0u);
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(DynamicBitset, AssignAndMatchesCopyThenAnd) {
+  // The fused AssignAnd must equal the copy-then-&= reference on sizes that
+  // exercise the unrolled 4-word loop and its scalar tail.
+  for (const size_t size : {1u, 64u, 100u, 256u, 300u, 517u}) {
+    DynamicBitset a(size), b(size);
+    for (size_t i = 0; i < size; i += 3) a.Set(i);
+    for (size_t i = 0; i < size; i += 7) b.Set(i);
+    DynamicBitset expected = a;
+    expected &= b;
+    DynamicBitset fused;
+    fused.AssignAnd(a, b);
+    EXPECT_TRUE(fused == expected) << size;
+    // Reuse without reallocation: overwrite the same scratch with a second,
+    // different intersection.
+    DynamicBitset expected2 = b;
+    expected2 &= a;
+    fused.AssignAnd(b, a);
+    EXPECT_TRUE(fused == expected2) << size;
+  }
+}
+
+TEST(DynamicBitset, IntersectionCountMatchesScalarReference) {
+  // The 4-at-a-time unrolled kernel must agree bit for bit with a
+  // per-position reference on awkward sizes (tail of 1-3 words, dense and
+  // sparse patterns).
+  for (const size_t size : {5u, 64u, 65u, 192u, 250u, 449u}) {
+    DynamicBitset a(size), b(size);
+    for (size_t i = 0; i < size; i += 2) a.Set(i);
+    for (size_t i = 0; i < size; i += 3) b.Set(i);
+    size_t expected = 0;
+    for (size_t i = 0; i < size; ++i) {
+      if (a.Test(i) && b.Test(i)) ++expected;
+    }
+    EXPECT_EQ(a.IntersectionCount(b), expected) << size;
+    EXPECT_EQ(b.IntersectionCount(a), expected) << size;
+  }
+}
+
 TEST(DynamicBitset, Equality) {
   DynamicBitset a(8), b(8);
   EXPECT_TRUE(a == b);

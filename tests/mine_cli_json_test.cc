@@ -17,6 +17,7 @@
 #include "data/database_io.h"
 #include "mining/miner.h"
 #include "tests/test_json_parser.h"
+#include "util/metrics.h"
 
 namespace pincer {
 namespace {
@@ -70,7 +71,8 @@ TEST_P(MineCliJsonTest, StatsJsonMatchesInProcessRun) {
   // Header identity.
   EXPECT_EQ(doc->Find("schema_version")->number, 1.0);
   ASSERT_NE(doc->Find("schema_minor"), nullptr);
-  EXPECT_EQ(doc->Find("schema_minor")->number, 1.0);
+  EXPECT_EQ(doc->Find("schema_minor")->number,
+            static_cast<double>(kStatsJsonSchemaMinorVersion));
   EXPECT_EQ(doc->Find("tool")->string, "mine_cli");
   EXPECT_EQ(doc->Find("algorithm")->string, algorithm);
   EXPECT_EQ(doc->Find("input")->string, basket_path);

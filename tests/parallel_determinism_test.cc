@@ -115,6 +115,43 @@ TEST_P(PooledBackendTest, MinedMfsMatchesSerialRunAndOracle) {
   }
 }
 
+// Regression for the dropped vertical plumbing: set_thread_pool used to be
+// silently ignored by the vertical backend (runs were serial whatever
+// --threads said). Now the candidate batch is split into contiguous
+// per-worker ranges with disjoint result slots, so counts must be
+// bit-identical at every thread count — across batch sizes that exercise
+// the chunking edges (below the per-worker minimum, exactly at it, one
+// over, and well above), including empty itemsets answered as |D|.
+TEST(VerticalPooledCounting, BatchSplitIsBitIdenticalAcrossThreadCounts) {
+  const TransactionDatabase db = MakeT5I2Database(/*seed=*/9);
+  for (const size_t batch_size : {1u, 15u, 16u, 17u, 100u, 1000u}) {
+    std::vector<Itemset> candidates = RandomBatch(
+        batch_size, /*num_items=*/15, /*max_len=*/6, /*seed=*/batch_size);
+    candidates[batch_size / 2] = Itemset{};  // empty probe mid-batch
+
+    ThreadPool serial(1);
+    auto serial_counter = CreateCounter(CounterBackend::kVertical, db, &serial);
+    const std::vector<uint64_t> expected =
+        serial_counter->CountSupports(candidates);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      ASSERT_EQ(expected[i], candidates[i].empty()
+                                 ? db.size()
+                                 : db.CountSupport(candidates[i]))
+          << candidates[i];
+    }
+
+    for (size_t threads : kThreadCounts) {
+      ThreadPool pool(threads);
+      auto counter = CreateCounter(CounterBackend::kVertical, db, &pool);
+      EXPECT_EQ(counter->CountSupports(candidates), expected)
+          << "batch " << batch_size << ", " << threads << " thread(s)";
+      EXPECT_EQ(counter->CountSupports(candidates), expected)
+          << "batch " << batch_size << ", " << threads
+          << " thread(s), repeated call (index reuse)";
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, PooledBackendTest,
                          ::testing::ValuesIn(AllCounterBackends()),
                          [](const auto& info) {

@@ -99,6 +99,8 @@ TEST_P(StatsJsonTest, JsonMatchesStructAndText) {
     EXPECT_GE(row.Find("counting_ms")->number, 0.0);
     EXPECT_GE(row.Find("mfcs_update_ms")->number, 0.0);
     EXPECT_GE(row.Find("mfcs_index_ms")->number, 0.0);
+    ASSERT_NE(row.Find("backend_used"), nullptr);
+    EXPECT_EQ(row.Find("backend_used")->string, pass.backend_used);
     // total_candidates counts both the bottom-up candidates and the MFCS
     // elements counted top-down in the same pass (the paper's §4.1.1
     // accounting), so the per-pass rows add up across both columns.

@@ -4,6 +4,8 @@
 
 #include "apriori/apriori.h"
 #include "core/pincer_search.h"
+#include "counting/counter_factory.h"
+#include "counting/scan_budget.h"
 #include "testing/db_builder.h"
 
 namespace pincer {
@@ -111,6 +113,63 @@ TEST(TimeBudget, MidScanAbortWorksWithoutTheFastPath) {
   EXPECT_TRUE(result.stats.aborted);
   EXPECT_EQ(result.stats.passes, 0u);
   EXPECT_TRUE(result.frequent.empty());
+}
+
+// Regression for the dropped vertical plumbing: set_scan_budget used to be
+// ignored by the vertical backend "by design", so a vertical run could
+// overshoot the budget by a whole pass. It now polls every
+// kVerticalBudgetCheckCandidates candidates.
+TEST(TimeBudget, VerticalCounterPollsBudgetMidBatch) {
+  TransactionDatabase db(8);
+  for (int i = 0; i < 50; ++i) db.AddTransaction({0, 1, 2, 3});
+
+  // A batch well past the poll cadence under an already-expired budget:
+  // the counter must observe the deadline mid-batch and latch it.
+  std::vector<Itemset> batch;
+  for (size_t i = 0; i < 4 * kVerticalBudgetCheckCandidates; ++i) {
+    batch.push_back(Itemset{static_cast<ItemId>(i % 8)});
+  }
+  auto counter = CreateCounter(CounterBackend::kVertical, db);
+  ScanBudget expired(0);
+  counter->set_scan_budget(&expired);
+  counter->CountSupports(batch);
+  EXPECT_TRUE(expired.exceeded());
+
+  // A batch shorter than one poll slice never checks the clock, so it
+  // completes whole even under an expired budget — mirroring the
+  // kScanAbortCheckRows semantics for tiny scans.
+  std::vector<Itemset> tiny(batch.begin(),
+                            batch.begin() + kVerticalBudgetCheckCandidates);
+  auto tiny_counter = CreateCounter(CounterBackend::kVertical, db);
+  ScanBudget tiny_budget(0);
+  tiny_counter->set_scan_budget(&tiny_budget);
+  const std::vector<uint64_t> counts = tiny_counter->CountSupports(tiny);
+  EXPECT_FALSE(tiny_budget.exceeded());
+  for (size_t i = 0; i < tiny.size(); ++i) {
+    EXPECT_EQ(counts[i], db.CountSupport(tiny[i]));
+  }
+}
+
+TEST(TimeBudget, VerticalBackendAbortsMidScanInsideASinglePass) {
+  // End to end: pass 1 through the generic vertical backend with more
+  // candidates than the poll cadence. The aborted pass must leave no trace.
+  TransactionDatabase db(200);
+  for (int i = 0; i < 50; ++i) db.AddTransaction({0, 1, 2});
+  MiningOptions options;
+  options.min_support = 0.5;
+  options.backend = CounterBackend::kVertical;
+  options.use_array_fast_path = false;
+  options.time_budget_ms = 1e-6;  // already exceeded when the count starts
+
+  const FrequentSetResult apriori = AprioriMine(db, options);
+  EXPECT_TRUE(apriori.stats.aborted);
+  EXPECT_EQ(apriori.stats.passes, 0u);
+  EXPECT_TRUE(apriori.frequent.empty());
+
+  const MaximalSetResult pincer = PincerSearch(db, options);
+  EXPECT_TRUE(pincer.stats.aborted);
+  EXPECT_EQ(pincer.stats.passes, 0u);
+  EXPECT_TRUE(pincer.mfs.empty());
 }
 
 }  // namespace

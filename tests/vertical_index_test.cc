@@ -49,6 +49,28 @@ TEST(VerticalIndex, TidsOfIntersectsBitmaps) {
   EXPECT_EQ(all.Count(), 3u);
 }
 
+TEST(VerticalIndex, ScratchOverloadMatchesAndReusesAccumulator) {
+  RandomDbParams params;
+  params.num_items = 12;
+  params.num_transactions = 150;
+  params.seed = 23;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  const VerticalIndex index(db);
+  // One scratch across a mixed-length probe sequence — the reuse the
+  // VerticalCounter hot loop depends on. Counts must match the
+  // allocate-per-call overload and the direct scan.
+  DynamicBitset scratch;
+  const std::vector<Itemset> probes = {
+      Itemset{3, 7, 9, 11}, Itemset{0},      Itemset{},
+      Itemset{1, 2},        Itemset{4, 5, 6}, Itemset{0, 1, 2, 3, 4}};
+  for (const Itemset& probe : probes) {
+    const uint64_t expected =
+        probe.empty() ? db.size() : db.CountSupport(probe);
+    EXPECT_EQ(index.CountSupport(probe, scratch), expected) << probe;
+    EXPECT_EQ(index.CountSupport(probe), expected) << probe;
+  }
+}
+
 TEST(VerticalIndex, EmptyDatabase) {
   const TransactionDatabase db(3);
   const VerticalIndex index(db);

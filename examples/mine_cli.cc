@@ -47,6 +47,7 @@
 #include "util/failpoint.h"
 #include "util/json_writer.h"
 #include "util/metrics.h"
+#include "util/parse_number.h"
 
 namespace {
 
@@ -85,7 +86,13 @@ int main(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--min-support=", 0) == 0) {
-      options.min_support = std::strtod(arg.c_str() + 14, nullptr);
+      const StatusOr<double> parsed =
+          ParseDouble(arg.substr(14), "--min-support");
+      if (!parsed.ok()) {
+        std::cerr << parsed.status() << "\n";
+        return 2;
+      }
+      options.min_support = *parsed;
       if (options.min_support <= 0.0 || options.min_support > 1.0) {
         std::cerr << "min-support must be in (0, 1]\n";
         return 2;
@@ -111,14 +118,24 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (arg.rfind("--threads=", 0) == 0) {
-      char* end = nullptr;
-      options.num_threads = std::strtoul(arg.c_str() + 10, &end, 10);
-      if (end == arg.c_str() + 10 || *end != '\0') {
-        std::cerr << "--threads needs a number (0 = all cores)\n";
+      const StatusOr<size_t> parsed =
+          ParseSize(arg.substr(10), "--threads");
+      if (!parsed.ok()) {
+        std::cerr << parsed.status() << " (0 = all cores)\n";
         return 2;
       }
+      options.num_threads = *parsed;
     } else if (arg.rfind("--rules=", 0) == 0) {
-      min_confidence = std::strtod(arg.c_str() + 8, nullptr);
+      const StatusOr<double> parsed = ParseDouble(arg.substr(8), "--rules");
+      if (!parsed.ok()) {
+        std::cerr << parsed.status() << "\n";
+        return 2;
+      }
+      min_confidence = *parsed;
+      if (min_confidence < 0.0 || min_confidence > 1.0) {
+        std::cerr << "--rules confidence must be in [0, 1]\n";
+        return 2;
+      }
     } else if (arg == "--stats") {
       print_stats = true;
     } else if (arg.rfind("--stats-json=", 0) == 0) {

@@ -1,0 +1,164 @@
+// The mining daemon: loads basket databases once, then serves mining
+// queries over a Unix-domain or loopback TCP socket as newline-delimited
+// JSON (schema in docs/serving.md). Query with examples/pincer_query.cc or
+// anything that can speak one JSON object per line.
+//
+//   ./pincer_serve --db=NAME=PATH [--db=NAME=PATH ...]
+//                  (--socket=PATH | --port=N)
+//     --threads=N              shared counting pool (0 = all cores; default 1)
+//     --cache=N                result-cache capacity in entries (default 64)
+//     --default-budget-ms=MS   budget for queries that set none (default 0)
+//     --max-budget-ms=MS       hard ceiling on any query's budget (default 0)
+//     --malformed=strict|skip  row policy for the startup loads
+//
+// Prints "READY <endpoint>" on stdout once listening (scripts wait for it).
+// Exits 0 on SIGTERM/SIGINT or a client's shutdown op, after draining
+// sessions. --port=0 picks a free port and reports it in the READY line.
+//
+// Exit status: 0 clean shutdown, 1 runtime failure, 2 bad usage.
+
+#include <csignal>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+#include "util/parse_number.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --db=NAME=PATH [--db=NAME=PATH ...] "
+               "(--socket=PATH | --port=N) [--threads=N] [--cache=N] "
+               "[--default-budget-ms=MS] [--max-budget-ms=MS] "
+               "[--malformed=strict|skip]\n";
+  return 2;
+}
+
+// SIGTERM/SIGINT land here; Server::Shutdown is async-signal-safe.
+pincer::Server* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->Shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pincer;
+
+  ServerOptions options;
+  std::string socket_path;
+  std::optional<uint16_t> tcp_port;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--db=", 0) == 0) {
+      const std::string spec = arg.substr(5);
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        std::cerr << "--db needs NAME=PATH, got \"" << spec << "\"\n";
+        return 2;
+      }
+      options.databases.push_back({spec.substr(0, eq), spec.substr(eq + 1)});
+    } else if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+      if (socket_path.empty()) {
+        std::cerr << "--socket needs a path\n";
+        return 2;
+      }
+    } else if (arg.rfind("--port=", 0) == 0) {
+      const StatusOr<uint64_t> parsed = ParseUint64(arg.substr(7), "--port");
+      if (!parsed.ok() || *parsed > 65535) {
+        std::cerr << "--port needs a number in [0, 65535]\n";
+        return 2;
+      }
+      tcp_port = static_cast<uint16_t>(*parsed);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      const StatusOr<size_t> parsed = ParseSize(arg.substr(10), "--threads");
+      if (!parsed.ok()) {
+        std::cerr << parsed.status() << " (0 = all cores)\n";
+        return 2;
+      }
+      options.num_threads = *parsed;
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      const StatusOr<size_t> parsed = ParseSize(arg.substr(8), "--cache");
+      if (!parsed.ok() || *parsed == 0) {
+        std::cerr << "--cache needs a positive entry count\n";
+        return 2;
+      }
+      options.cache_capacity = *parsed;
+    } else if (arg.rfind("--default-budget-ms=", 0) == 0) {
+      const StatusOr<double> parsed =
+          ParseDouble(arg.substr(20), "--default-budget-ms");
+      if (!parsed.ok() || *parsed < 0) {
+        std::cerr << "--default-budget-ms needs a number >= 0\n";
+        return 2;
+      }
+      options.default_budget_ms = *parsed;
+    } else if (arg.rfind("--max-budget-ms=", 0) == 0) {
+      const StatusOr<double> parsed =
+          ParseDouble(arg.substr(16), "--max-budget-ms");
+      if (!parsed.ok() || *parsed < 0) {
+        std::cerr << "--max-budget-ms needs a number >= 0\n";
+        return 2;
+      }
+      options.max_budget_ms = *parsed;
+    } else if (arg.rfind("--malformed=", 0) == 0) {
+      const std::optional<MalformedRowPolicy> policy =
+          ParseMalformedRowPolicy(arg.substr(12));
+      if (!policy.has_value()) {
+        std::cerr << "--malformed must be 'strict' or 'skip'\n";
+        return 2;
+      }
+      options.malformed_rows = *policy;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.databases.empty()) {
+    std::cerr << "at least one --db=NAME=PATH is required\n";
+    return Usage(argv[0]);
+  }
+  if (socket_path.empty() == !tcp_port.has_value()) {
+    std::cerr << "exactly one of --socket=PATH or --port=N is required\n";
+    return Usage(argv[0]);
+  }
+
+  MiningService service;
+  if (const Status status = service.Init(options); !status.ok()) {
+    std::cerr << "error: " << status << "\n";
+    return 1;
+  }
+
+  Server server(service);
+  std::string endpoint;
+  if (!socket_path.empty()) {
+    if (const Status status = server.ListenUnix(socket_path); !status.ok()) {
+      std::cerr << "error: " << status << "\n";
+      return 1;
+    }
+    endpoint = "unix:" + socket_path;
+  } else {
+    if (const Status status = server.ListenTcp(*tcp_port); !status.ok()) {
+      std::cerr << "error: " << status << "\n";
+      return 1;
+    }
+    endpoint = "tcp:127.0.0.1:" + std::to_string(server.port());
+  }
+
+  g_server = &server;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  std::cout << "READY " << endpoint << std::endl;
+  const Status status = server.Serve();
+  if (!status.ok()) {
+    std::cerr << "error: " << status << "\n";
+    return 1;
+  }
+  std::cerr << "pincer_serve: clean shutdown\n";
+  return 0;
+}

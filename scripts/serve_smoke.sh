@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Serving smoke test: boot the pincer_serve daemon over a generated Quest
+# database, run a mixed burst of queries through pincer_query, and hold the
+# daemon to its acceptance contract — served results bit-identical to cold
+# mine_cli runs, repeat queries answered from cache with ZERO counting
+# work, stricter-threshold queries answered by the filter path, budgeted
+# queries reporting aborted+budget_exceeded, and a clean SIGTERM exit.
+# Used by the serve-smoke CI job; runnable locally:
+#
+#   ./scripts/serve_smoke.sh [BUILD_DIR] [SCALE]
+#
+# BUILD_DIR defaults to ./build; SCALE is the transaction count of the
+# generated dataset (default 20000).
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+SCALE=${2:-20000}
+SERVE="$BUILD_DIR/examples/pincer_serve"
+QUERY="$BUILD_DIR/examples/pincer_query"
+MINE_CLI="$BUILD_DIR/examples/mine_cli"
+GENERATE="$BUILD_DIR/examples/generate_data"
+WORK_DIR=$(mktemp -d)
+SOCKET="$WORK_DIR/serve.sock"
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2> /dev/null || true
+  rm -rf "$WORK_DIR"
+}
+trap cleanup EXIT
+
+for tool in "$SERVE" "$QUERY" "$MINE_CLI" "$GENERATE"; do
+  if [[ ! -x "$tool" ]]; then
+    echo "missing $tool — build the examples first" >&2
+    exit 1
+  fi
+done
+
+# jq-free JSON assertion: assert_json FILE EXPR — EXPR is a python
+# expression over the parsed response `r`; non-true fails the smoke.
+assert_json() {
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    r = json.load(f)
+if not eval(sys.argv[2]):
+    print(f"FAIL: {sys.argv[2]!r} on {json.dumps(r)[:400]}", file=sys.stderr)
+    sys.exit(1)
+EOF
+}
+
+DB="$WORK_DIR/t8i4.basket"
+echo "== generating T8.I4.D$SCALE"
+"$GENERATE" "$DB" --d="$SCALE" --t=8 --i=4 --n=40 --seed=7 > /dev/null
+
+echo "== starting pincer_serve"
+"$SERVE" --db=quest="$DB" --socket="$SOCKET" \
+  > "$WORK_DIR/serve.out" 2> "$WORK_DIR/serve.err" &
+SERVE_PID=$!
+for _ in $(seq 1 200); do
+  grep -q '^READY ' "$WORK_DIR/serve.out" 2> /dev/null && break
+  if ! kill -0 "$SERVE_PID" 2> /dev/null; then
+    echo "FAIL: daemon exited during startup:" >&2
+    cat "$WORK_DIR/serve.err" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+grep -q '^READY ' "$WORK_DIR/serve.out" || {
+  echo "FAIL: no READY line within 10s" >&2
+  exit 1
+}
+echo "   $(cat "$WORK_DIR/serve.out")"
+
+echo "== ping"
+"$QUERY" --socket="$SOCKET" --op=ping --id=smoke > "$WORK_DIR/ping.json"
+assert_json "$WORK_DIR/ping.json" 'r["ok"] and r["id"] == "smoke"'
+
+MINE=(--socket="$SOCKET" --database=quest --min-support=0.05
+      --algorithm=pincer-adaptive)
+
+echo "== cold mine vs cold mine_cli (bit-identity)"
+"$QUERY" "${MINE[@]}" --format=text > "$WORK_DIR/served.mfs"
+"$MINE_CLI" "$DB" --min-support=0.05 --algorithm=pincer-adaptive \
+  > "$WORK_DIR/cold.mfs" 2> /dev/null
+if ! diff -q "$WORK_DIR/cold.mfs" "$WORK_DIR/served.mfs" > /dev/null; then
+  echo "FAIL: served MFS differs from a cold mine_cli run" >&2
+  diff "$WORK_DIR/cold.mfs" "$WORK_DIR/served.mfs" | head -20 >&2
+  exit 1
+fi
+echo "   served MFS is bit-identical to mine_cli"
+
+echo "== repeat query: cache hit, zero counting work"
+"$QUERY" "${MINE[@]}" > "$WORK_DIR/hit.json"
+assert_json "$WORK_DIR/hit.json" 'r["cache"] == "hit"'
+assert_json "$WORK_DIR/hit.json" 'r["query"]["counting"]["count_calls"] == 0'
+assert_json "$WORK_DIR/hit.json" \
+  'r["query"]["counting"]["transactions_scanned"] == 0'
+echo "   hit served with count_calls == 0"
+
+echo "== stricter-threshold apriori query rides the filter path"
+"$QUERY" --socket="$SOCKET" --database=quest --min-support=0.05 \
+  --algorithm=apriori > /dev/null
+"$QUERY" --socket="$SOCKET" --database=quest --min-support=0.12 \
+  --algorithm=apriori > "$WORK_DIR/filter.json"
+assert_json "$WORK_DIR/filter.json" 'r["cache"] == "filter"'
+assert_json "$WORK_DIR/filter.json" \
+  'r["query"]["counting"]["count_calls"] == 0'
+"$QUERY" --socket="$SOCKET" --database=quest --min-support=0.12 \
+  --algorithm=apriori --format=text > "$WORK_DIR/filtered.mfs"
+"$MINE_CLI" "$DB" --min-support=0.12 --algorithm=apriori \
+  > "$WORK_DIR/cold_strict.mfs" 2> /dev/null
+diff -q "$WORK_DIR/cold_strict.mfs" "$WORK_DIR/filtered.mfs" > /dev/null || {
+  echo "FAIL: filter-path MFS differs from a cold mine_cli run" >&2
+  exit 1
+}
+echo "   filter-path MFS is bit-identical to mine_cli"
+
+echo "== budgeted query aborts and says so"
+"$QUERY" "${MINE[@]}" --budget-ms=0.000001 --no-cache \
+  > "$WORK_DIR/aborted.json"
+assert_json "$WORK_DIR/aborted.json" 'r["stats"]["aborted"] is True'
+assert_json "$WORK_DIR/aborted.json" 'r["stats"]["budget_exceeded"] is True'
+
+echo "== list reports the resident database"
+"$QUERY" --socket="$SOCKET" --op=list > "$WORK_DIR/list.json"
+assert_json "$WORK_DIR/list.json" \
+  'r["databases"][0]["name"] == "quest" and r["cache"]["entries"] >= 1'
+
+echo "== SIGTERM: clean shutdown"
+kill -TERM "$SERVE_PID"
+SERVE_EXIT=0
+wait "$SERVE_PID" || SERVE_EXIT=$?
+SERVE_PID=""
+if [[ "$SERVE_EXIT" -ne 0 ]]; then
+  echo "FAIL: daemon exited $SERVE_EXIT on SIGTERM" >&2
+  cat "$WORK_DIR/serve.err" >&2
+  exit 1
+fi
+grep -q 'clean shutdown' "$WORK_DIR/serve.err" || {
+  echo "FAIL: daemon did not report a clean shutdown" >&2
+  exit 1
+}
+echo "   exit 0, clean shutdown reported"
+
+echo "serve smoke: OK"

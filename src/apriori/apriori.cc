@@ -1,6 +1,7 @@
 #include "apriori/apriori.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 
@@ -63,10 +64,23 @@ FrequentSetResult AprioriRun(const TransactionDatabase& db,
   FrequentSetResult result;
   MiningStats& stats = result.stats;
   const uint64_t min_count = db.MinSupportCount(options.min_support);
-  // One pool per run, shared by the backend and the array fast paths.
-  ThreadPool pool(options.num_threads);
-  auto counter = CreateCounter(options.backend, db, &pool);
-  if (options.collect_counter_metrics) counter->set_metrics(&stats.counting);
+  // One pool per run, shared by the backend and the array fast paths — or,
+  // in resident mode, the caller's shared pool and pre-built counter.
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = options.shared_pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(options.num_threads);
+    pool = owned_pool.get();
+  }
+  std::unique_ptr<SupportCounter> owned_counter;
+  SupportCounter* counter = options.resident_counter;
+  if (counter == nullptr) {
+    owned_counter = CreateCounter(options.backend, db, pool);
+    counter = owned_counter.get();
+  }
+  // Unconditional: a resident counter may carry a previous run's sink.
+  counter->set_metrics(options.collect_counter_metrics ? &stats.counting
+                                                       : nullptr);
   std::optional<ScanBudget> budget;
   if (options.time_budget_ms > 0) budget.emplace(options.time_budget_ms);
   ScanBudget* scan_budget = budget.has_value() ? &*budget : nullptr;
@@ -85,7 +99,7 @@ FrequentSetResult AprioriRun(const TransactionDatabase& db,
     // Checkpointed wall-clock covers completed work; this run adds its own.
     elapsed_base = stats.elapsed_millis;
   }
-  stats.num_threads = pool.num_threads();
+  stats.num_threads = pool->num_threads();
 
   const auto emit_checkpoint = [&](size_t next_pass) {
     if (!options.checkpoint_sink) return;
@@ -97,6 +111,14 @@ FrequentSetResult AprioriRun(const TransactionDatabase& db,
   const auto finish = [&]() {
     std::sort(result.frequent.begin(), result.frequent.end());
     stats.elapsed_millis = elapsed_base + timer.ElapsedMillis();
+    // Every abort path latches the ScanBudget, so the latch is the single
+    // source of truth for "the time budget caused this".
+    stats.budget_exceeded = budget.has_value() && budget->exceeded();
+    // A resident counter outlives this run: detach the per-run sinks.
+    if (options.resident_counter != nullptr) {
+      counter->set_metrics(nullptr);
+      counter->set_scan_budget(nullptr);
+    }
   };
 
   // ---- Pass 1: 1-itemsets.
@@ -108,7 +130,7 @@ FrequentSetResult AprioriRun(const TransactionDatabase& db,
     {
       ScopedMsTimer count_timer(pass.counting_ms);
       if (options.use_array_fast_path) {
-        counts = CountSingletons(db, &pool, scan_budget);
+        counts = CountSingletons(db, pool, scan_budget);
       } else {
         std::vector<Itemset> singles;
         singles.reserve(db.num_items());
@@ -143,6 +165,15 @@ FrequentSetResult AprioriRun(const TransactionDatabase& db,
     emit_checkpoint(2);
   }
 
+  // ---- Pass cap (options.max_passes): running pass k would exceed the cap
+  // while frequent work remains, so the run is truncated — which the
+  // options.h contract reports as aborted, matching pincer_search.cc.
+  if (options.max_passes > 0 && k > options.max_passes && lk.size() >= 2) {
+    stats.aborted = true;
+    finish();
+    return result;
+  }
+
   // ---- Pass 2: 2-itemsets via the triangular array (no generation step).
   if (k == 2) {
     if (lk.size() >= 2) {
@@ -158,7 +189,7 @@ FrequentSetResult AprioriRun(const TransactionDatabase& db,
         PairCountMatrix matrix(frequent_items);
         {
           ScopedMsTimer count_timer(pass.counting_ms);
-          matrix.CountDatabase(db, &pool, scan_budget);
+          matrix.CountDatabase(db, pool, scan_budget);
         }
         if (scan_budget != nullptr && scan_budget->exceeded()) {
           stats.aborted = true;
@@ -225,12 +256,19 @@ FrequentSetResult AprioriRun(const TransactionDatabase& db,
       candidates = AprioriGen(lk);
     }
     if (candidates.empty()) break;
+    // Pass cap, ordered after the termination test for the same reason as
+    // the budget check below: a complete run is never reported truncated.
+    if (options.max_passes > 0 && k > options.max_passes) {
+      stats.aborted = true;
+      break;
+    }
     // Budget check ordered after the termination test so a run that is
     // already complete is never misreported as aborted; checked after
     // generation because with millions of candidates the generation step
-    // alone can overshoot the budget.
-    if (options.time_budget_ms > 0 &&
-        timer.ElapsedMillis() > options.time_budget_ms) {
+    // alone can overshoot the budget. Check() latches the same ScanBudget
+    // the counting scans poll, keeping stats.budget_exceeded in agreement
+    // with `aborted` for between-pass aborts.
+    if (scan_budget != nullptr && scan_budget->Check()) {
       stats.aborted = true;
       break;
     }

@@ -1,6 +1,7 @@
 #include "apriori/apriori_combined.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 
 #include "apriori/apriori_gen.h"
@@ -55,10 +56,23 @@ FrequentSetResult AprioriCombinedRun(const TransactionDatabase& db,
   FrequentSetResult result;
   MiningStats& stats = result.stats;
   const uint64_t min_count = db.MinSupportCount(options.min_support);
-  // One pool per run, shared by the backend and the array fast paths.
-  ThreadPool pool(options.num_threads);
-  auto counter = CreateCounter(options.backend, db, &pool);
-  if (options.collect_counter_metrics) counter->set_metrics(&stats.counting);
+  // One pool per run, shared by the backend and the array fast paths — or,
+  // in resident mode, the caller's shared pool and pre-built counter.
+  std::unique_ptr<ThreadPool> owned_pool;
+  ThreadPool* pool = options.shared_pool;
+  if (pool == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(options.num_threads);
+    pool = owned_pool.get();
+  }
+  std::unique_ptr<SupportCounter> owned_counter;
+  SupportCounter* counter = options.resident_counter;
+  if (counter == nullptr) {
+    owned_counter = CreateCounter(options.backend, db, pool);
+    counter = owned_counter.get();
+  }
+  // Unconditional: a resident counter may carry a previous run's sink.
+  counter->set_metrics(options.collect_counter_metrics ? &stats.counting
+                                                       : nullptr);
   std::optional<ScanBudget> budget;
   if (options.time_budget_ms > 0) budget.emplace(options.time_budget_ms);
   ScanBudget* scan_budget = budget.has_value() ? &*budget : nullptr;
@@ -80,7 +94,7 @@ FrequentSetResult AprioriCombinedRun(const TransactionDatabase& db,
     k = static_cast<size_t>(resume->next_pass);
     elapsed_base = stats.elapsed_millis;
   }
-  stats.num_threads = pool.num_threads();
+  stats.num_threads = pool->num_threads();
 
   const auto emit_checkpoint = [&](size_t next_level) {
     if (!options.checkpoint_sink) return;
@@ -93,6 +107,14 @@ FrequentSetResult AprioriCombinedRun(const TransactionDatabase& db,
   const auto finish = [&]() {
     std::sort(result.frequent.begin(), result.frequent.end());
     stats.elapsed_millis = elapsed_base + timer.ElapsedMillis();
+    // Every abort path latches the ScanBudget, so the latch is the single
+    // source of truth for "the time budget caused this".
+    stats.budget_exceeded = budget.has_value() && budget->exceeded();
+    // A resident counter outlives this run: detach the per-run sinks.
+    if (options.resident_counter != nullptr) {
+      counter->set_metrics(nullptr);
+      counter->set_scan_budget(nullptr);
+    }
   };
 
   // Passes 1 and 2 are identical to plain Apriori (array fast paths).
@@ -103,7 +125,7 @@ FrequentSetResult AprioriCombinedRun(const TransactionDatabase& db,
     std::vector<uint64_t> counts;
     {
       ScopedMsTimer count_timer(pass.counting_ms);
-      counts = CountSingletons(db, &pool, scan_budget);
+      counts = CountSingletons(db, pool, scan_budget);
     }
     if (scan_budget != nullptr && scan_budget->exceeded()) {
       stats.aborted = true;
@@ -124,7 +146,20 @@ FrequentSetResult AprioriCombinedRun(const TransactionDatabase& db,
     emit_checkpoint(2);
   }
 
+  // Pass cap (options.max_passes): for the combined driver the cap bounds
+  // actual database passes (stats.passes), not levels — a level consumed
+  // from the optimistic precounts is free. Truncation by the cap is
+  // reported as aborted, the options.h contract.
+  const auto pass_cap_spent = [&] {
+    return options.max_passes > 0 && stats.passes >= options.max_passes;
+  };
+
   if (k == 2) {
+    if (lk.size() >= 2 && pass_cap_spent()) {
+      stats.aborted = true;
+      finish();
+      return result;
+    }
     if (lk.size() >= 2) {
       PassStats pass;
       pass.pass = 2;
@@ -135,7 +170,7 @@ FrequentSetResult AprioriCombinedRun(const TransactionDatabase& db,
       PairCountMatrix matrix(frequent_items);
       {
         ScopedMsTimer count_timer(pass.counting_ms);
-        matrix.CountDatabase(db, &pool, scan_budget);
+        matrix.CountDatabase(db, pool, scan_budget);
       }
       if (scan_budget != nullptr && scan_budget->exceeded()) {
         stats.aborted = true;
@@ -167,8 +202,10 @@ FrequentSetResult AprioriCombinedRun(const TransactionDatabase& db,
   // previous pass already counted this level optimistically, the counts are
   // consumed without a new database read.
   while (lk.size() >= 2) {
-    if (options.time_budget_ms > 0 &&
-        timer.ElapsedMillis() > options.time_budget_ms) {
+    // Check() latches the same ScanBudget the counting scans poll, keeping
+    // stats.budget_exceeded in agreement with `aborted` for between-level
+    // aborts.
+    if (scan_budget != nullptr && scan_budget->Check()) {
       stats.aborted = true;
       break;
     }
@@ -205,6 +242,12 @@ FrequentSetResult AprioriCombinedRun(const TransactionDatabase& db,
                     [](bool have) { return have; });
 
     if (!all_precounted) {
+      // This level needs a real database pass; truncate if the cap is
+      // spent (precounted levels above consumed no pass and ran free).
+      if (pass_cap_spent()) {
+        stats.aborted = true;
+        break;
+      }
       // A real pass is needed. Decide whether to piggyback the optimistic
       // next level onto it.
       std::vector<Itemset> batch = candidates;

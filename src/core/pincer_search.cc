@@ -40,14 +40,23 @@ class PincerDriver {
       : db_(db),
         options_(options),
         min_count_(db.MinSupportCount(options.min_support)),
-        pool_(std::make_unique<ThreadPool>(options.num_threads)),
-        counter_(CreateCounter(options.backend, db, pool_.get())),
+        owned_pool_(options.shared_pool != nullptr
+                        ? nullptr
+                        : std::make_unique<ThreadPool>(options.num_threads)),
+        pool_(options.shared_pool != nullptr ? options.shared_pool
+                                             : owned_pool_.get()),
+        owned_counter_(options.resident_counter != nullptr
+                           ? nullptr
+                           : CreateCounter(options.backend, db, pool_)),
+        counter_(options.resident_counter != nullptr
+                     ? options.resident_counter
+                     : owned_counter_.get()),
         mfcs_(db.num_items()) {
-    if (options_.collect_counter_metrics) {
-      counter_->set_metrics(&stats_.counting);
-    }
+    // Unconditional: a resident counter may carry a previous run's sink.
+    counter_->set_metrics(options_.collect_counter_metrics ? &stats_.counting
+                                                           : nullptr);
     stats_.num_threads = pool_->num_threads();
-    mfcs_.set_thread_pool(pool_.get());
+    mfcs_.set_thread_pool(pool_);
   }
 
   MaximalSetResult Run();
@@ -171,9 +180,13 @@ class PincerDriver {
   const uint64_t min_count_;
   // One worker pool per run, shared by the counting backend and the
   // pass-1/2 array fast paths; reused across passes. Declared before
-  // counter_ so the pool outlives (and is ready for) the counter.
-  std::unique_ptr<ThreadPool> pool_;
-  std::unique_ptr<SupportCounter> counter_;
+  // owned_counter_ so the pool outlives (and is ready for) the counter. In
+  // resident mode (options.shared_pool / options.resident_counter) the
+  // owned slots stay null and the raw pointers alias the caller's objects.
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;
+  std::unique_ptr<SupportCounter> owned_counter_;
+  SupportCounter* counter_;
 
   Mfcs mfcs_;
   Mfs mfs_;
@@ -360,7 +373,7 @@ std::vector<Itemset> PincerDriver::PassOne() {
   {
     ScopedMsTimer timer(pass.counting_ms);
     if (options_.use_array_fast_path) {
-      singleton_counts_ = CountSingletons(db_, pool_.get(),
+      singleton_counts_ = CountSingletons(db_, pool_,
                                           budget_.has_value() ? &*budget_
                                                               : nullptr);
     } else {
@@ -469,7 +482,7 @@ std::vector<Itemset> PincerDriver::PassTwo(
     pair_matrix_.emplace(frequent_items);
     {
       ScopedMsTimer timer(pass.counting_ms);
-      pair_matrix_->CountDatabase(db_, pool_.get(), scan_budget);
+      pair_matrix_->CountDatabase(db_, pool_, scan_budget);
     }
     if (ScanAborted()) return {};
     {
@@ -674,7 +687,7 @@ Status PincerDriver::Restore(const Checkpoint& checkpoint) {
   // Elements are restored in serialized (insertion) order, keeping the
   // resumed run's MFCS-gen behaviour identical to the uninterrupted run's.
   mfcs_ = Mfcs(db_.num_items(), checkpoint.mfcs);
-  mfcs_.set_thread_pool(pool_.get());
+  mfcs_.set_thread_pool(pool_);
   for (const FrequentItemset& fi : checkpoint.support_cache) {
     cache_.emplace(fi.itemset, fi.support);
   }
@@ -751,9 +764,11 @@ MaximalSetResult PincerDriver::Run() {
     }
     if (candidates.empty() && (!maintain_mfcs_ || mfcs_.empty())) break;
     // Ordered after the termination test so a completed run is never
-    // misreported as aborted.
-    if (options_.time_budget_ms > 0 &&
-        timer.ElapsedMillis() > options_.time_budget_ms) {
+    // misreported as aborted. Check() latches the same ScanBudget the
+    // counting scans poll, so stats.budget_exceeded (derived from the latch
+    // at the end of the run) agrees with `aborted` for between-pass aborts
+    // exactly as it does for mid-scan ones.
+    if (budget_.has_value() && budget_->Check()) {
       stats_.aborted = true;
       break;
     }
@@ -780,6 +795,17 @@ MaximalSetResult PincerDriver::Run() {
   // recovers maximal itemsets that only the bottom-up direction saw.
   for (const FrequentItemset& fi : bottom_up_frequent_) {
     if (!mfs_.CoveredBy(fi.itemset)) mfs_.Add(fi.itemset, fi.support);
+  }
+
+  // Every abort path latches the ScanBudget (mid-scan polls and the
+  // between-pass Check above), so the latch is the single source of truth
+  // for "the time budget caused this".
+  stats_.budget_exceeded = budget_.has_value() && budget_->exceeded();
+  // A resident counter outlives this run: detach the per-run sinks so the
+  // next run (or none) never touches dangling driver state.
+  if (options_.resident_counter != nullptr) {
+    counter_->set_metrics(nullptr);
+    counter_->set_scan_budget(nullptr);
   }
 
   MaximalSetResult result;

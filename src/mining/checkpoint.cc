@@ -204,6 +204,11 @@ Status ParseStats(const JsonValue& obj, MiningStats& stats) {
   PINCER_RETURN_IF_ERROR(GetDouble(obj, "elapsed_ms", stats.elapsed_millis));
   PINCER_RETURN_IF_ERROR(GetSize(obj, "num_threads", stats.num_threads));
   PINCER_RETURN_IF_ERROR(GetBool(obj, "aborted", stats.aborted));
+  // Schema v1.3 addition; checkpoints written by older binaries lack it.
+  if (obj.Find("budget_exceeded") != nullptr) {
+    PINCER_RETURN_IF_ERROR(
+        GetBool(obj, "budget_exceeded", stats.budget_exceeded));
+  }
   PINCER_RETURN_IF_ERROR(GetBool(obj, "mfcs_disabled", stats.mfcs_disabled));
   PINCER_RETURN_IF_ERROR(
       GetSize(obj, "mfcs_disabled_at_pass", stats.mfcs_disabled_at_pass));

@@ -15,6 +15,11 @@ std::string MiningStats::ToString() const {
      << "MFCS candidates: " << mfcs_candidates << "\n"
      << "elapsed: " << elapsed_millis << " ms\n"
      << "counting threads: " << num_threads << "\n";
+  if (aborted) {
+    os << "run aborted ("
+       << (budget_exceeded ? "time budget exceeded" : "pass cap reached")
+       << "); result incomplete\n";
+  }
   if (mfcs_disabled) {
     os << "MFCS maintenance abandoned at pass " << mfcs_disabled_at_pass
        << " (adaptive policy)\n";
@@ -60,6 +65,7 @@ void MiningStats::ToJson(JsonWriter& json) const {
   json.KeyValue("elapsed_ms", elapsed_millis);
   json.KeyValue("num_threads", static_cast<uint64_t>(num_threads));
   json.KeyValue("aborted", aborted);
+  json.KeyValue("budget_exceeded", budget_exceeded);
   json.KeyValue("mfcs_disabled", mfcs_disabled);
   json.KeyValue("mfcs_disabled_at_pass",
                 static_cast<uint64_t>(mfcs_disabled_at_pass));

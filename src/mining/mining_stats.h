@@ -97,8 +97,16 @@ struct MiningStats {
   /// every value — this records the concurrency, not the result.
   size_t num_threads = 1;
   /// True if the run stopped early because options.time_budget_ms was
-  /// exceeded; the result is then incomplete.
+  /// exceeded or the pass cap truncated it; the result is then incomplete.
   bool aborted = false;
+  /// True iff the run's ScanBudget latched its deadline (schema v1.3
+  /// addition) — either a counting scan polled past it mid-pass or the
+  /// between-pass check did. Always implies `aborted`; conversely, a run
+  /// with a time budget and no pass cap that reports aborted = true must
+  /// report budget_exceeded = true as well (both directions asserted by the
+  /// differential harness). Distinguishes budget aborts from pass-cap
+  /// truncation, which sets `aborted` alone.
+  bool budget_exceeded = false;
   /// True if the adaptive policy abandoned MFCS maintenance mid-run.
   bool mfcs_disabled = false;
   /// Pass at which it was abandoned (0 if never).

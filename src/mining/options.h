@@ -14,6 +14,7 @@
 namespace pincer {
 
 struct Checkpoint;
+class ThreadPool;
 
 /// Options accepted by both miners. Pincer-specific fields are ignored by
 /// Apriori.
@@ -45,7 +46,10 @@ struct MiningOptions {
 
   /// Cap on the number of database passes (0 = automatic: |items| + 2, a
   /// bound the algorithms cannot exceed on well-formed inputs). A run
-  /// truncated by the cap reports stats.aborted = true.
+  /// truncated by the cap reports stats.aborted = true (and, unlike a time
+  /// budget, never stats.budget_exceeded). For apriori-combined the cap
+  /// bounds actual database reads (stats.passes): a candidate level served
+  /// entirely from the optimistic precounts consumes no pass.
   size_t max_passes = 0;
 
   /// Pincer only: adaptive MFCS cap (§3.5). If an MFCS update would grow the
@@ -90,6 +94,25 @@ struct MiningOptions {
   /// default) fails the pass; kSkipAndCount drops the row and tallies it in
   /// stats.rows_skipped.
   MalformedRowPolicy malformed_rows = MalformedRowPolicy::kStrict;
+
+  /// Resident mode (the serving daemon): a non-owning, pre-built counter
+  /// bound to the same database this run mines. When set, the driver counts
+  /// through it instead of constructing its own backend (skipping, e.g.,
+  /// the vertical index's per-run transpose) and `backend` is ignored. The
+  /// driver attaches its per-run metrics sink and scan budget to the
+  /// counter for the duration of the run and detaches both before
+  /// returning, so the counter can be reused by the next run. Like
+  /// `backend`, this is result-invariant (all backends count identically)
+  /// and therefore excluded from the checkpoint options fingerprint. The
+  /// counter must outlive the run; concurrent runs must not share one.
+  SupportCounter* resident_counter = nullptr;
+
+  /// Resident mode: a non-owning worker pool to run counting scans on
+  /// instead of creating a per-run pool. `num_threads` is then ignored
+  /// (stats.num_threads echoes the shared pool's width). Result-invariant,
+  /// excluded from the options fingerprint. The pool must outlive the run;
+  /// ThreadPool is single-owner, so concurrent runs must not share one.
+  ThreadPool* shared_pool = nullptr;
 
   /// Pass-level checkpoint sink: when set, every miner invokes it after
   /// each completed pass with a Checkpoint snapshot (see

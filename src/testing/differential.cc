@@ -253,6 +253,15 @@ std::vector<std::string> CheckStatsInvariants(const MiningStats& stats,
   if (!expect.allow_aborted && stats.aborted) {
     fail("aborted = true without a time budget or pass cap");
   }
+  if (stats.budget_exceeded && !stats.aborted) {
+    fail("budget_exceeded = true but aborted = false");
+  }
+  if (expect.abort_implies_budget && stats.aborted &&
+      !stats.budget_exceeded) {
+    fail("aborted = true under a time budget (no pass cap) but "
+         "budget_exceeded = false — the between-pass check and the scan "
+         "polls disagree about the ScanBudget latch");
+  }
   if (stats.mfcs_disabled) {
     if (stats.mfcs_disabled_at_pass < 1 ||
         stats.mfcs_disabled_at_pass > std::max<size_t>(stats.passes, 1)) {
@@ -299,6 +308,7 @@ std::vector<std::string> CheckStatsInvariants(const MiningStats& stats,
   check_number("rows_dropped_items",
                static_cast<double>(stats.rows_dropped_items));
   check_bool("aborted", stats.aborted);
+  check_bool("budget_exceeded", stats.budget_exceeded);
   check_bool("mfcs_disabled", stats.mfcs_disabled);
   if (CountJsonKey(json, "pass") != stats.per_pass.size()) {
     fail("stats JSON per_pass array has " +
@@ -369,6 +379,9 @@ void RunConfigsOnDatabase(const TransactionDatabase& db,
                            config.options.max_passes > 0;
     expect.paper_candidate_convention =
         config.miner != Miner::kPartition && config.miner != Miner::kSampling;
+    expect.abort_implies_budget = expect.paper_candidate_convention &&
+                                  config.options.time_budget_ms > 0 &&
+                                  config.options.max_passes == 0;
 
     auto check_frequent = [&](const std::vector<FrequentItemset>& got) {
       if (got != oracle.frequent) {

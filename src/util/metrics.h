@@ -26,13 +26,15 @@ class JsonWriter;
 inline constexpr int kStatsJsonSchemaVersion = 1;
 
 /// Minor schema revision, bumped on pure additions so consumers can probe
-/// for new fields without sniffing keys. Currently 2 (= "v1.2"): adds the
-/// per-pass `backend_used` string — the counting backend that served the
-/// pass (under backend=auto the adaptive per-pass pick, "array" for
-/// fast-path-only passes). v1.1 (= 1) added the per-pass `mfcs_index_ms`
-/// phase timer. Documents written by older binaries simply lack the
-/// `schema_minor` key (read it as 0).
-inline constexpr int kStatsJsonSchemaMinorVersion = 2;
+/// for new fields without sniffing keys. Currently 3 (= "v1.3"): adds the
+/// top-level `budget_exceeded` bool — true iff the run's ScanBudget latched
+/// its deadline (so `aborted` and the budget latch can be reconciled by
+/// consumers). v1.2 (= 2) added the per-pass `backend_used` string — the
+/// counting backend that served the pass (under backend=auto the adaptive
+/// per-pass pick, "array" for fast-path-only passes). v1.1 (= 1) added the
+/// per-pass `mfcs_index_ms` phase timer. Documents written by older
+/// binaries simply lack the `schema_minor` key (read it as 0).
+inline constexpr int kStatsJsonSchemaMinorVersion = 3;
 
 /// Aggregate work counters a SupportCounter backend fills in while
 /// counting. Collection is opt-in (MiningOptions::collect_counter_metrics):

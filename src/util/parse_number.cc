@@ -1,0 +1,87 @@
+#include "util/parse_number.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+namespace pincer {
+
+namespace {
+
+Status Malformed(std::string_view what, std::string_view text,
+                 std::string_view reason) {
+  return Status::InvalidArgument(std::string(what) + ": \"" +
+                                 std::string(text) + "\" " +
+                                 std::string(reason));
+}
+
+}  // namespace
+
+StatusOr<uint64_t> ParseUint64(std::string_view text, std::string_view what) {
+  if (text.empty()) return Malformed(what, text, "is empty");
+  // strtoull accepts leading whitespace, a sign, and "0x" prefixes; a
+  // digits-only pre-check rejects all of those in one pass and guarantees
+  // base-10 interpretation of what remains.
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Malformed(what, text, "is not a non-negative integer");
+    }
+  }
+  const std::string token(text);  // strtoull needs NUL termination
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) {
+    return Malformed(what, text, "is not a non-negative integer");
+  }
+  if (errno == ERANGE ||
+      value > std::numeric_limits<uint64_t>::max()) {
+    return Malformed(what, text, "overflows 64 bits");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+StatusOr<size_t> ParseSize(std::string_view text, std::string_view what) {
+  StatusOr<uint64_t> value = ParseUint64(text, what);
+  if (!value.ok()) return value.status();
+  if (*value > std::numeric_limits<size_t>::max()) {
+    return Malformed(what, text, "overflows size_t");
+  }
+  return static_cast<size_t>(*value);
+}
+
+StatusOr<double> ParseDouble(std::string_view text, std::string_view what) {
+  if (text.empty()) return Malformed(what, text, "is empty");
+  // Reject the whitespace and hex/nan/inf spellings strtod would accept:
+  // only digits, one sign, '.', and 'e'/'E' exponents form a plain decimal.
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const bool digit = c >= '0' && c <= '9';
+    const bool sign =
+        (c == '-' && i == 0) ||
+        ((c == '-' || c == '+') && i > 0 &&
+         (text[i - 1] == 'e' || text[i - 1] == 'E'));
+    const bool structural = c == '.' || c == 'e' || c == 'E';
+    if (!digit && !sign && !structural) {
+      return Malformed(what, text, "is not a decimal number");
+    }
+  }
+  const std::string token(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size() || end == token.c_str()) {
+    return Malformed(what, text, "is not a decimal number");
+  }
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    return Malformed(what, text, "overflows a double");
+  }
+  if (!std::isfinite(value)) {
+    return Malformed(what, text, "is not finite");
+  }
+  return value;
+}
+
+}  // namespace pincer

@@ -1,0 +1,38 @@
+// Checked numeric parsing for untrusted text: CLI flag values and the
+// serving layer's request fields. The C library's strtoul/strtod make three
+// mistakes easy — accepting trailing garbage ("4x" parses as 4), clamping
+// overflow to the max value with only errno to tell, and treating an empty
+// token as 0 — and the CLI historically made all three. These helpers
+// reject every malformed token with an explicit Status instead.
+//
+// Strict by design: the whole token must be one number — no leading or
+// trailing whitespace, no '+' sign, no hex/octal prefixes, and (for the
+// unsigned form) no '-'.
+
+#ifndef PINCER_UTIL_PARSE_NUMBER_H_
+#define PINCER_UTIL_PARSE_NUMBER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/statusor.h"
+
+namespace pincer {
+
+/// Parses a non-negative decimal integer. InvalidArgument on an empty
+/// token, non-digit characters, a sign, or a value that does not fit in 64
+/// bits. `what` names the field in the error message ("--threads", "id").
+StatusOr<uint64_t> ParseUint64(std::string_view text, std::string_view what);
+
+/// ParseUint64 narrowed to size_t (identical on 64-bit platforms; on
+/// narrower ones an out-of-range value is rejected, never truncated).
+StatusOr<size_t> ParseSize(std::string_view text, std::string_view what);
+
+/// Parses a finite decimal floating-point number ("0.25", "1e-3", "-2").
+/// InvalidArgument on an empty token, trailing garbage, overflow to
+/// infinity, or a NaN/infinity spelling.
+StatusOr<double> ParseDouble(std::string_view text, std::string_view what);
+
+}  // namespace pincer
+
+#endif  // PINCER_UTIL_PARSE_NUMBER_H_

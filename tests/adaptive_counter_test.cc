@@ -126,6 +126,71 @@ TEST(AdaptiveCounter, IdenticalRunsPickIdenticalBackendsPerPass) {
   }
 }
 
+TEST(AdaptiveCounter, EveryCallRecordsMetricsExactlyOnce) {
+  // Regression guard for the double-counting audit: the adaptive counter
+  // forwards the metrics sink to BOTH children, but only the child that
+  // serves a call may record it. count_calls must track the number of
+  // CountSupports calls one-for-one, and candidates_counted their summed
+  // batch sizes, across calls whose shapes steer to different children.
+  RandomDbParams params;
+  params.num_items = 10;
+  params.num_transactions = 80;
+  params.item_probability = 0.5;
+  params.seed = 13;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  auto counter = CreateCounter(CounterBackend::kAuto, db);
+  CountingMetrics metrics;
+  counter->set_metrics(&metrics);
+
+  uint64_t expected_candidates = 0;
+  for (size_t call = 1; call <= 5; ++call) {
+    // Batch sizes swing from 1 to ~400 so the cost model sees both the
+    // few-candidates and many-candidates regimes.
+    std::vector<Itemset> batch;
+    const size_t size = call % 2 == 1 ? call : call * 100;
+    for (size_t i = 0; i < size; ++i) {
+      batch.push_back(Itemset{static_cast<ItemId>(i % 10),
+                              static_cast<ItemId>((i + 3) % 10)});
+    }
+    counter->CountSupports(batch);
+    expected_candidates += batch.size();
+    EXPECT_EQ(metrics.count_calls, call);
+    EXPECT_EQ(metrics.candidates_counted, expected_candidates);
+  }
+}
+
+TEST(AdaptiveCounter, EndToEndCountCallsMatchStaticBackends) {
+  // Pins the daemon acceptance metric: under backend=auto a mining run's
+  // counting.count_calls (and candidates_counted) must equal the same run
+  // under either static child — double-recording through the forwarded
+  // sinks would show up here as a doubled total.
+  RandomDbParams params;
+  params.num_items = 14;
+  params.num_transactions = 120;
+  params.item_probability = 0.4;
+  params.seed = 42;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  MiningOptions options;
+  options.min_support = 0.1;
+  options.collect_counter_metrics = true;
+
+  const auto counting_of = [&](CounterBackend backend) {
+    MiningOptions run_options = options;
+    run_options.backend = backend;
+    return MineMaximal(db, run_options, Algorithm::kPincerAdaptive)
+        .stats.counting;
+  };
+  const CountingMetrics adaptive = counting_of(CounterBackend::kAuto);
+  const CountingMetrics trie = counting_of(CounterBackend::kTrie);
+  const CountingMetrics vertical = counting_of(CounterBackend::kVertical);
+
+  EXPECT_GT(adaptive.count_calls, 0u);
+  EXPECT_EQ(adaptive.count_calls, trie.count_calls);
+  EXPECT_EQ(adaptive.count_calls, vertical.count_calls);
+  EXPECT_EQ(adaptive.candidates_counted, trie.candidates_counted);
+  EXPECT_EQ(adaptive.candidates_counted, vertical.candidates_counted);
+}
+
 TEST(AdaptiveCounter, StaticBackendsReportThemselvesAsUsed) {
   const TransactionDatabase db = MakeDatabase({{0, 1}, {1}});
   for (CounterBackend backend : AllCounterBackends()) {

@@ -1,0 +1,93 @@
+// Tests for the checked numeric-parse helpers shared by the CLI flags and
+// the daemon's request parser. The point of these helpers is what they
+// REJECT: every historical strtoul/strtod pitfall (trailing garbage,
+// silently clamped overflow, empty-token-as-zero) must come back as an
+// explicit InvalidArgument naming the offending field.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "util/parse_number.h"
+
+namespace pincer {
+namespace {
+
+TEST(ParseUint64, AcceptsPlainDecimals) {
+  EXPECT_EQ(*ParseUint64("0", "f"), 0u);
+  EXPECT_EQ(*ParseUint64("42", "f"), 42u);
+  EXPECT_EQ(*ParseUint64("007", "f"), 7u);  // leading zeros are decimal here
+  EXPECT_EQ(*ParseUint64("18446744073709551615", "f"),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(ParseUint64, RejectsEverythingStrtoulWouldForgive) {
+  // Each of these is accepted (or mangled) by strtoul; all must fail here.
+  for (const char* bad : {"", "4x", "x4", " 4", "4 ", "+4", "-4", "-0",
+                          "0x10", "4.0", "1e3", "4,000"}) {
+    EXPECT_FALSE(ParseUint64(bad, "f").ok()) << "\"" << bad << "\"";
+  }
+}
+
+TEST(ParseUint64, RejectsOverflowInsteadOfClamping) {
+  // max + 1, and something wildly larger.
+  EXPECT_FALSE(ParseUint64("18446744073709551616", "f").ok());
+  EXPECT_FALSE(ParseUint64("99999999999999999999999999", "f").ok());
+}
+
+TEST(ParseUint64, ErrorNamesTheField) {
+  const StatusOr<uint64_t> result = ParseUint64("abc", "--threads");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("--threads"), std::string::npos)
+      << result.status().message();
+  EXPECT_NE(result.status().message().find("abc"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(ParseSize, MirrorsUint64OnThisPlatform) {
+  EXPECT_EQ(*ParseSize("12345", "f"), 12345u);
+  EXPECT_FALSE(ParseSize("", "f").ok());
+  EXPECT_FALSE(ParseSize("-1", "f").ok());
+  EXPECT_FALSE(ParseSize("18446744073709551616", "f").ok());
+}
+
+TEST(ParseDouble, AcceptsPlainDecimalSpellings) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.25", "f"), 0.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("10", "f"), 10.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2", "f"), -2.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e-3", "f"), 1e-3);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1E+3", "f"), 1000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("2.5e2", "f"), 250.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble(".5", "f"), 0.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("5.", "f"), 5.0);
+}
+
+TEST(ParseDouble, RejectsEverythingStrtodWouldForgive) {
+  for (const char* bad : {"", " 1", "1 ", "1.5x", "x1.5", "nan", "NaN", "inf",
+                          "INF", "infinity", "0x1p3", "0x10", "1,5", ".",
+                          "e5", "1e", "1e+", "--1", "1-2", "+2", "+0.5"}) {
+    EXPECT_FALSE(ParseDouble(bad, "f").ok()) << "\"" << bad << "\"";
+  }
+}
+
+TEST(ParseDouble, RejectsOverflowToInfinity) {
+  const StatusOr<double> result = ParseDouble("1e999", "--min-support");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("--min-support"),
+            std::string::npos);
+  // Underflow to zero is not an error — it is representable, just tiny.
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e-999", "f"), 0.0);
+}
+
+TEST(ParseDouble, RoundTripsSixtyFourBitPrecisionTokens) {
+  // min_support comes off the wire through this function; a 17-digit token
+  // (the precision the fingerprint layer serializes with) must round-trip.
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.10000000000000001", "f"),
+                   0.10000000000000001);
+}
+
+}  // namespace
+}  // namespace pincer

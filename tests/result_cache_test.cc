@@ -1,0 +1,267 @@
+// Tests for the daemon's result cache: the SupportIndex lookup tiers, the
+// higher-threshold filter path (including its never-wrong guarantee — a
+// missing support yields nullopt, not a guess), and the LRU container.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "counting/array_counters.h"
+#include "mining/checkpoint.h"
+#include "mining/miner.h"
+#include "serve/result_cache.h"
+#include "testing/db_builder.h"
+
+namespace pincer {
+namespace {
+
+TEST(SupportIndex, SingletonTierReadsThePassOneArray) {
+  Checkpoint checkpoint;
+  checkpoint.singleton_counts = {5, 4, 3, 0};
+  const SupportIndex index(checkpoint, {});
+  EXPECT_EQ(index.Lookup(Itemset{0}), 5u);
+  EXPECT_EQ(index.Lookup(Itemset{2}), 3u);
+  EXPECT_EQ(index.Lookup(Itemset{3}), 0u);
+  // Out of the array's range, and not in the map either.
+  EXPECT_FALSE(index.Lookup(Itemset{4}).has_value());
+}
+
+TEST(SupportIndex, PairTierReadsTheTriangularMatrix) {
+  const TransactionDatabase db =
+      MakeDatabase({{0, 1, 2}, {0, 1}, {1, 2}, {0, 2}, {0, 1, 2}});
+  PairCountMatrix matrix({0, 1, 2});
+  matrix.CountDatabase(db);
+
+  Checkpoint checkpoint;
+  checkpoint.pair_items = matrix.frequent_items();
+  checkpoint.pair_counts = matrix.raw_counts();
+  const SupportIndex index(checkpoint, {});
+  EXPECT_EQ(index.Lookup(Itemset{0, 1}), db.CountSupport(Itemset{0, 1}));
+  EXPECT_EQ(index.Lookup(Itemset{1, 2}), db.CountSupport(Itemset{1, 2}));
+  // A pair with a non-indexed item falls through to the map and misses.
+  EXPECT_FALSE(index.Lookup(Itemset{1, 3}).has_value());
+}
+
+TEST(SupportIndex, PairTierIsDroppedOnCountSizeMismatch) {
+  Checkpoint checkpoint;
+  checkpoint.pair_items = {0, 1, 2};        // triangle needs 3 counts
+  checkpoint.pair_counts = {7};             // torn snapshot
+  checkpoint.support_cache = {{Itemset{0, 1}, 9}};
+  const SupportIndex index(checkpoint, {});
+  // The bad matrix must not serve garbage; the map tier still answers.
+  EXPECT_EQ(index.Lookup(Itemset{0, 1}), 9u);
+  EXPECT_FALSE(index.Lookup(Itemset{0, 2}).has_value());
+}
+
+TEST(SupportIndex, MapTierMergesEverySupportSource) {
+  Checkpoint checkpoint;
+  checkpoint.support_cache = {{Itemset{0, 1, 2}, 4}};
+  checkpoint.frequent = {{Itemset{3, 4}, 6}};
+  checkpoint.precounted = {{Itemset{5, 6}, 2}};
+  checkpoint.mfs = {{Itemset{0, 1, 2, 3}, 3}};
+  const std::vector<FrequentItemset> result_mfs = {{Itemset{7, 8, 9}, 5}};
+  const SupportIndex index(checkpoint, result_mfs);
+  EXPECT_EQ(index.Lookup(Itemset{0, 1, 2}), 4u);
+  EXPECT_EQ(index.Lookup(Itemset{3, 4}), 6u);
+  EXPECT_EQ(index.Lookup(Itemset{5, 6}), 2u);
+  EXPECT_EQ(index.Lookup(Itemset{0, 1, 2, 3}), 3u);
+  EXPECT_EQ(index.Lookup(Itemset{7, 8, 9}), 5u);
+  EXPECT_FALSE(index.Lookup(Itemset{0, 1}).has_value());
+}
+
+// A hand-built index for filter tests: supports via support_cache +
+// singleton array.
+SupportIndex MakeIndex(std::vector<uint64_t> singletons,
+                       std::vector<FrequentItemset> sets) {
+  Checkpoint checkpoint;
+  checkpoint.singleton_counts = std::move(singletons);
+  checkpoint.support_cache = std::move(sets);
+  return SupportIndex(checkpoint, {});
+}
+
+TEST(FilterMfs, DescendsToTheExactStricterMfs) {
+  // Base MFS at min_count 2: {0,1,2}@2 and {2,3}@3. At min_count 3 the
+  // triple dies; among its pairs only {0,1}@3 survives, and {2,3} stays.
+  const SupportIndex index = MakeIndex(
+      {4, 4, 4, 3},
+      {{Itemset{0, 1, 2}, 2},
+       {Itemset{0, 1}, 3},
+       {Itemset{0, 2}, 2},
+       {Itemset{1, 2}, 2},
+       {Itemset{2, 3}, 3}});
+  const std::vector<FrequentItemset> base = {{Itemset{0, 1, 2}, 2},
+                                             {Itemset{2, 3}, 3}};
+  const auto filtered = FilterMfsAtHigherMinCount(base, index, 3);
+  ASSERT_TRUE(filtered.has_value());
+  const std::vector<FrequentItemset> want = {{Itemset{0, 1}, 3},
+                                             {Itemset{2, 3}, 3}};
+  EXPECT_EQ(*filtered, want);
+}
+
+TEST(FilterMfs, SameThresholdReturnsTheBaseSorted) {
+  const SupportIndex index =
+      MakeIndex({}, {{Itemset{2, 3}, 3}, {Itemset{0, 1}, 2}});
+  const std::vector<FrequentItemset> base = {{Itemset{2, 3}, 3},
+                                             {Itemset{0, 1}, 2}};
+  const auto filtered = FilterMfsAtHigherMinCount(base, index, 2);
+  ASSERT_TRUE(filtered.has_value());
+  const std::vector<FrequentItemset> want = {{Itemset{0, 1}, 2},
+                                             {Itemset{2, 3}, 3}};
+  EXPECT_EQ(*filtered, want);
+}
+
+TEST(FilterMfs, AcceptedCoverSuppressesSubsumedCandidates) {
+  // Both base sets shrink to subsets of the surviving {0,1,2}; nothing
+  // extra may appear.
+  const SupportIndex index = MakeIndex(
+      {9, 9, 9, 1},
+      {{Itemset{0, 1, 2, 3}, 1}, {Itemset{0, 1, 2}, 5}, {Itemset{0, 1, 3}, 1},
+       {Itemset{0, 2, 3}, 1}, {Itemset{1, 2, 3}, 1}, {Itemset{0, 3}, 1},
+       {Itemset{1, 3}, 1}, {Itemset{2, 3}, 1}});
+  const std::vector<FrequentItemset> base = {{Itemset{0, 1, 2, 3}, 1}};
+  const auto filtered = FilterMfsAtHigherMinCount(base, index, 5);
+  ASSERT_TRUE(filtered.has_value());
+  const std::vector<FrequentItemset> want = {{Itemset{0, 1, 2}, 5}};
+  EXPECT_EQ(*filtered, want);
+}
+
+TEST(FilterMfs, MissingSupportMeansNulloptNeverAGuess) {
+  // {0,2} is needed once {0,1,2} dies, but the index never counted it.
+  const SupportIndex index = MakeIndex(
+      {4, 4, 4},
+      {{Itemset{0, 1, 2}, 2}, {Itemset{0, 1}, 3}, {Itemset{1, 2}, 2}});
+  const std::vector<FrequentItemset> base = {{Itemset{0, 1, 2}, 2}};
+  EXPECT_FALSE(FilterMfsAtHigherMinCount(base, index, 3).has_value());
+}
+
+TEST(FilterMfs, EverythingInfrequentYieldsAnEmptyMfs) {
+  const SupportIndex index =
+      MakeIndex({2, 2}, {{Itemset{0, 1}, 1}});
+  const std::vector<FrequentItemset> base = {{Itemset{0, 1}, 1}};
+  const auto filtered = FilterMfsAtHigherMinCount(base, index, 5);
+  ASSERT_TRUE(filtered.has_value());
+  EXPECT_TRUE(filtered->empty());
+}
+
+TEST(FilterMfs, DifferentiallyMatchesAFreshMineOnApriori) {
+  // Apriori's final checkpoint carries the complete frequent set, so the
+  // filter path must succeed and agree with a fresh mine — this is the
+  // in-process version of the daemon's "filter" cache differential.
+  RandomDbParams params;
+  params.num_items = 12;
+  params.num_transactions = 80;
+  params.item_probability = 0.45;
+  for (uint64_t seed : {3u, 11u, 29u}) {
+    params.seed = seed;
+    const TransactionDatabase db = MakeRandomDatabase(params);
+
+    MiningOptions base_options;
+    base_options.min_support = 0.1;
+    Checkpoint final_checkpoint;
+    base_options.checkpoint_sink = [&](const Checkpoint& checkpoint) {
+      final_checkpoint = checkpoint;
+      return Status::OK();
+    };
+    const MaximalSetResult base =
+        MineMaximal(db, base_options, Algorithm::kApriori);
+    ASSERT_FALSE(base.stats.aborted);
+    const SupportIndex index(final_checkpoint, base.mfs);
+
+    for (double stricter : {0.15, 0.2, 0.3, 0.5}) {
+      const uint64_t min_count = db.MinSupportCount(stricter);
+      const auto filtered =
+          FilterMfsAtHigherMinCount(base.mfs, index, min_count);
+      ASSERT_TRUE(filtered.has_value())
+          << "seed " << seed << " minsup " << stricter;
+      MiningOptions fresh_options;
+      fresh_options.min_support = stricter;
+      const MaximalSetResult fresh =
+          MineMaximal(db, fresh_options, Algorithm::kApriori);
+      EXPECT_EQ(*filtered, fresh.mfs)
+          << "seed " << seed << " minsup " << stricter;
+    }
+  }
+}
+
+std::shared_ptr<const ResultCache::Entry> MakeEntry(std::string key,
+                                                    std::string family,
+                                                    uint64_t min_count) {
+  auto entry = std::make_shared<ResultCache::Entry>();
+  entry->key = std::move(key);
+  entry->family = std::move(family);
+  entry->min_count = min_count;
+  return entry;
+}
+
+TEST(ResultCache, LookupHitsAndMisses) {
+  ResultCache cache(4);
+  cache.Insert(MakeEntry("a", "f", 2));
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsed) {
+  ResultCache cache(2);
+  cache.Insert(MakeEntry("a", "f", 1));
+  cache.Insert(MakeEntry("b", "f", 2));
+  ASSERT_NE(cache.Lookup("a"), nullptr);  // refresh a; b is now oldest
+  cache.Insert(MakeEntry("c", "f", 3));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+}
+
+TEST(ResultCache, ReinsertReplacesWithoutGrowing) {
+  ResultCache cache(2);
+  cache.Insert(MakeEntry("a", "f", 1));
+  cache.Insert(MakeEntry("a", "f", 9));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup("a")->min_count, 9u);
+}
+
+TEST(ResultCache, CapacityIsClampedToAtLeastOne) {
+  ResultCache cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.Insert(MakeEntry("a", "f", 1));
+  cache.Insert(MakeEntry("b", "f", 2));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_NE(cache.Lookup("b"), nullptr);
+}
+
+TEST(ResultCache, FilterBasePicksTheTightestUsableThreshold) {
+  ResultCache cache(8);
+  cache.Insert(MakeEntry("a", "fam", 5));
+  cache.Insert(MakeEntry("b", "fam", 10));
+  cache.Insert(MakeEntry("c", "other", 7));
+
+  // Target 12: both fam entries qualify; the tightest (10) wins — the
+  // smallest MFS to descend from.
+  auto base = cache.LookupFilterBase("fam", 12);
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->min_count, 10u);
+  // Target 10 inclusive.
+  EXPECT_EQ(cache.LookupFilterBase("fam", 10)->min_count, 10u);
+  // Target 7: only the min_count-5 entry is at or below.
+  EXPECT_EQ(cache.LookupFilterBase("fam", 7)->min_count, 5u);
+  // No entry at or below the target, or wrong family: null.
+  EXPECT_EQ(cache.LookupFilterBase("fam", 3), nullptr);
+  EXPECT_EQ(cache.LookupFilterBase("missing", 100), nullptr);
+}
+
+TEST(ResultCache, SharedPtrEntriesSurviveEviction) {
+  ResultCache cache(1);
+  cache.Insert(MakeEntry("a", "f", 4));
+  auto held = cache.Lookup("a");
+  cache.Insert(MakeEntry("b", "f", 5));  // evicts a
+  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  ASSERT_NE(held, nullptr);  // the handed-out entry is still valid
+  EXPECT_EQ(held->min_count, 4u);
+}
+
+}  // namespace
+}  // namespace pincer

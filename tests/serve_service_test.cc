@@ -1,0 +1,350 @@
+// Integration tests for the daemon's protocol core (MiningService), driven
+// in-process through HandleLine — no sockets. These pin the serving layer's
+// contracts: a served mine is bit-identical to a cold MineMaximal run on
+// the same file, a repeat query is answered from cache with ZERO counting
+// work, the filter path for stricter thresholds is differentially equal to
+// a fresh mine, aborted runs are never cached, and concurrent sessions all
+// get cold-identical answers.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/database_io.h"
+#include "mining/miner.h"
+#include "serve/server.h"
+#include "testing/db_builder.h"
+#include "util/json_reader.h"
+
+namespace pincer {
+namespace {
+
+// Extracts the response's mfs array back into result form.
+std::vector<FrequentItemset> MfsOf(const JsonValue& response) {
+  std::vector<FrequentItemset> out;
+  const JsonValue* mfs = response.Find("mfs");
+  EXPECT_NE(mfs, nullptr);
+  if (mfs == nullptr || !mfs->is_array()) return out;
+  for (const JsonValue& element : mfs->array) {
+    FrequentItemset fi;
+    const JsonValue* support = element.Find("support");
+    const JsonValue* items = element.Find("items");
+    EXPECT_NE(support, nullptr);
+    EXPECT_NE(items, nullptr);
+    if (support == nullptr || items == nullptr) continue;
+    fi.support = support->AsUint64().value_or(0);
+    std::vector<ItemId> ids;
+    for (const JsonValue& item : items->array) {
+      ids.push_back(static_cast<ItemId>(item.AsUint64().value_or(0)));
+    }
+    fi.itemset = Itemset(std::move(ids));
+    out.push_back(std::move(fi));
+  }
+  return out;
+}
+
+std::string CacheOf(const JsonValue& response) {
+  const JsonValue* cache = response.Find("cache");
+  if (cache == nullptr || !cache->AsString().has_value()) return "";
+  return std::string(*cache->AsString());
+}
+
+bool OkOf(const JsonValue& response) {
+  const JsonValue* ok = response.Find("ok");
+  return ok != nullptr && ok->AsBool().value_or(false);
+}
+
+uint64_t QueryCountCalls(const JsonValue& response) {
+  const JsonValue* query = response.Find("query");
+  if (query == nullptr) return ~0ull;
+  const JsonValue* counting = query->Find("counting");
+  if (counting == nullptr) return ~0ull;
+  const JsonValue* calls = counting->Find("count_calls");
+  if (calls == nullptr) return ~0ull;
+  return calls->AsUint64().value_or(~0ull);
+}
+
+bool StatsBool(const JsonValue& response, std::string_view key) {
+  const JsonValue* stats = response.Find("stats");
+  if (stats == nullptr) return false;
+  const JsonValue* value = stats->Find(key);
+  return value != nullptr && value->AsBool().value_or(false);
+}
+
+std::string MineLine(const std::string& database, double min_support,
+                     const std::string& algorithm,
+                     const std::string& extra = "") {
+  std::ostringstream os;
+  os << R"({"op":"mine","database":")" << database << R"(","min_support":)"
+     << min_support << R"(,"algorithm":")" << algorithm << "\"" << extra
+     << "}";
+  return os.str();
+}
+
+class ServeServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/pincer_serve_service_" +
+            std::to_string(::getpid()) + ".basket";
+    // Planted patterns give long maximal sets — the regime where the
+    // pincer MFCS shortcuts (and thus the filter path's fallback) matter.
+    const TransactionDatabase generated = MakePlantedDatabase(
+        /*num_items=*/24, /*num_transactions=*/300, /*num_planted=*/3,
+        /*pattern_size=*/6, /*pattern_frequency=*/0.3,
+        /*noise_probability=*/0.05, /*seed=*/17);
+    ASSERT_TRUE(WriteDatabaseToFile(generated, path_).ok());
+    // Cold-run comparisons use the file contents, exactly as the daemon
+    // sees them, not the pre-serialization in-memory database.
+    StatusOr<TransactionDatabase> loaded = ReadDatabaseFromFile(path_);
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    db_ = std::move(*loaded);
+
+    ServerOptions options;
+    options.databases = {{"quest", path_}};
+    options.cache_capacity = 8;
+    ASSERT_TRUE(InitService(options));
+  }
+
+  bool InitService(const ServerOptions& options) {
+    service_.emplace();
+    const Status status = service_->Init(options);
+    EXPECT_TRUE(status.ok()) << status;
+    return status.ok();
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  JsonValue Handle(const std::string& line) {
+    const std::string response = service_->HandleLine(line);
+    StatusOr<JsonValue> parsed = ParseJson(response);
+    EXPECT_TRUE(parsed.ok()) << response;
+    return parsed.ok() ? std::move(*parsed) : JsonValue{};
+  }
+
+  MaximalSetResult ColdMine(double min_support, Algorithm algorithm) {
+    MiningOptions options;
+    options.min_support = min_support;
+    return MineMaximal(db_, options, algorithm);
+  }
+
+  std::string path_;
+  TransactionDatabase db_;
+  std::optional<MiningService> service_;
+};
+
+TEST_F(ServeServiceTest, ColdQueryMissesAndMatchesADirectMine) {
+  const JsonValue response =
+      Handle(MineLine("quest", 0.1, "pincer-adaptive"));
+  ASSERT_TRUE(OkOf(response));
+  EXPECT_EQ(CacheOf(response), "miss");
+  EXPECT_EQ(response.Find("num_transactions")->AsUint64(), db_.size());
+  EXPECT_EQ(response.Find("min_count")->AsUint64(),
+            db_.MinSupportCount(0.1));
+
+  const MaximalSetResult cold =
+      ColdMine(0.1, Algorithm::kPincerAdaptive);
+  EXPECT_EQ(MfsOf(response), cold.mfs);
+  EXPECT_FALSE(MfsOf(response).empty());  // planted patterns must surface
+}
+
+TEST_F(ServeServiceTest, RepeatQueryHitsWithZeroCountingWork) {
+  const std::string line = MineLine("quest", 0.1, "pincer-adaptive");
+  const std::string first = service_->HandleLine(line);
+  const std::string second = service_->HandleLine(line);
+
+  const JsonValue parsed = *ParseJson(second);
+  ASSERT_TRUE(OkOf(parsed));
+  EXPECT_EQ(CacheOf(parsed), "hit");
+  // The acceptance bar: a cache hit does no counting at all.
+  EXPECT_EQ(QueryCountCalls(parsed), 0u);
+  const JsonValue* scanned =
+      parsed.Find("query")->Find("counting")->Find("transactions_scanned");
+  EXPECT_EQ(scanned->AsUint64(), 0u);
+
+  // Byte identity everywhere except the cache tag and this query's timing:
+  // the header + mfs prefix and the originating run's stats suffix must
+  // match the miss response exactly.
+  const auto prefix = [](const std::string& s) {
+    return s.substr(0, s.find("\"cache\""));
+  };
+  const auto stats_suffix = [](const std::string& s) {
+    return s.substr(s.find("\"stats\""));
+  };
+  ASSERT_NE(first.find("\"stats\""), std::string::npos);
+  EXPECT_EQ(prefix(first), prefix(second));
+  EXPECT_EQ(stats_suffix(first), stats_suffix(second));
+  const auto mfs_section = [](const std::string& s) {
+    const size_t begin = s.find("\"mfs\"");
+    return s.substr(begin, s.find("\"query\"") - begin);
+  };
+  EXPECT_EQ(mfs_section(first), mfs_section(second));
+}
+
+TEST_F(ServeServiceTest, StricterAprioriQueryIsServedByTheFilterPath) {
+  // Apriori's checkpoint holds the complete frequent set, so the stricter
+  // query must be answered without mining — and still match a cold run.
+  ASSERT_TRUE(OkOf(Handle(MineLine("quest", 0.05, "apriori"))));
+  const JsonValue stricter = Handle(MineLine("quest", 0.15, "apriori"));
+  ASSERT_TRUE(OkOf(stricter));
+  EXPECT_EQ(CacheOf(stricter), "filter");
+  EXPECT_EQ(QueryCountCalls(stricter), 0u);
+  EXPECT_EQ(MfsOf(stricter), ColdMine(0.15, Algorithm::kApriori).mfs);
+
+  // The derived entry is cached: repeating the stricter query is now an
+  // exact hit.
+  EXPECT_EQ(CacheOf(Handle(MineLine("quest", 0.15, "apriori"))), "hit");
+}
+
+TEST_F(ServeServiceTest, StricterPincerQueryIsCorrectHoweverServed) {
+  // Pincer runs skip counting subsets of frequent MFCS elements, so the
+  // filter path may or may not have the supports it needs. Either way the
+  // answer must equal a cold mine (fallback differential).
+  ASSERT_TRUE(OkOf(Handle(MineLine("quest", 0.05, "pincer-adaptive"))));
+  const JsonValue stricter =
+      Handle(MineLine("quest", 0.2, "pincer-adaptive"));
+  ASSERT_TRUE(OkOf(stricter));
+  const std::string cache = CacheOf(stricter);
+  EXPECT_TRUE(cache == "filter" || cache == "miss") << cache;
+  EXPECT_EQ(MfsOf(stricter), ColdMine(0.2, Algorithm::kPincerAdaptive).mfs);
+}
+
+TEST_F(ServeServiceTest, AlgorithmsDoNotShareCacheEntries) {
+  ASSERT_EQ(CacheOf(Handle(MineLine("quest", 0.1, "apriori"))), "miss");
+  // Same threshold, different driver: separate fingerprint family.
+  EXPECT_EQ(CacheOf(Handle(MineLine("quest", 0.1, "pincer-adaptive"))),
+            "miss");
+  EXPECT_EQ(CacheOf(Handle(MineLine("quest", 0.1, "apriori"))), "hit");
+}
+
+TEST_F(ServeServiceTest, NoCacheBypassesBothDirections) {
+  const std::string line =
+      MineLine("quest", 0.1, "pincer-adaptive", R"(,"no_cache":true)");
+  EXPECT_EQ(CacheOf(Handle(line)), "miss");
+  // Not stored: the identical no_cache query mines again...
+  EXPECT_EQ(CacheOf(Handle(line)), "miss");
+  // ...and did not seed the cache for a normal query either.
+  EXPECT_EQ(CacheOf(Handle(MineLine("quest", 0.1, "pincer-adaptive"))),
+            "miss");
+}
+
+TEST_F(ServeServiceTest, AbortedRunsAreNeverCached) {
+  const JsonValue aborted = Handle(MineLine(
+      "quest", 0.1, "pincer-adaptive", R"(,"budget_ms":0.000001)"));
+  ASSERT_TRUE(OkOf(aborted));
+  EXPECT_TRUE(StatsBool(aborted, "aborted"));
+  EXPECT_TRUE(StatsBool(aborted, "budget_exceeded"));
+
+  // The budget is outside the fingerprint, so this is the same cache key —
+  // and it must miss, because a truncated result would be a wrong answer.
+  const JsonValue retry = Handle(MineLine("quest", 0.1, "pincer-adaptive"));
+  ASSERT_TRUE(OkOf(retry));
+  EXPECT_EQ(CacheOf(retry), "miss");
+  EXPECT_FALSE(StatsBool(retry, "aborted"));
+  EXPECT_EQ(MfsOf(retry), ColdMine(0.1, Algorithm::kPincerAdaptive).mfs);
+}
+
+TEST_F(ServeServiceTest, MaxBudgetClampsUnlimitedQueries) {
+  ServerOptions options;
+  options.databases = {{"quest", path_}};
+  options.max_budget_ms = 1e-6;
+  ASSERT_TRUE(InitService(options));
+  // The query asks for unlimited time; the ceiling applies anyway.
+  const JsonValue response =
+      Handle(MineLine("quest", 0.1, "pincer-adaptive"));
+  ASSERT_TRUE(OkOf(response));
+  EXPECT_TRUE(StatsBool(response, "aborted"));
+  EXPECT_TRUE(StatsBool(response, "budget_exceeded"));
+}
+
+TEST_F(ServeServiceTest, UnknownDatabaseIsNotFound) {
+  const JsonValue response = Handle(MineLine("nope", 0.1, "apriori"));
+  EXPECT_FALSE(OkOf(response));
+  EXPECT_EQ(*response.Find("error_code")->AsString(), "NotFound");
+}
+
+TEST_F(ServeServiceTest, ProtocolErrorsComeBackAsResponses) {
+  EXPECT_FALSE(OkOf(Handle("this is not json")));
+  EXPECT_FALSE(OkOf(Handle(R"({"op":"mine","database":"quest"})")));
+  EXPECT_FALSE(OkOf(Handle(R"({"op":"warp"})")));
+}
+
+TEST_F(ServeServiceTest, PingAndShutdownAcksEchoTheId) {
+  const JsonValue pong = Handle(R"({"op":"ping","id":"p1"})");
+  EXPECT_TRUE(OkOf(pong));
+  EXPECT_EQ(*pong.Find("id")->AsString(), "p1");
+  EXPECT_FALSE(service_->shutdown_requested());
+  EXPECT_TRUE(OkOf(Handle(R"({"op":"shutdown"})")));
+  EXPECT_TRUE(service_->shutdown_requested());
+}
+
+TEST_F(ServeServiceTest, ListReportsResidentDatabasesAndCacheShape) {
+  const JsonValue response = Handle(R"({"op":"list"})");
+  ASSERT_TRUE(OkOf(response));
+  const JsonValue* databases = response.Find("databases");
+  ASSERT_NE(databases, nullptr);
+  ASSERT_EQ(databases->array.size(), 1u);
+  EXPECT_EQ(*databases->array[0].Find("name")->AsString(), "quest");
+  EXPECT_EQ(databases->array[0].Find("num_transactions")->AsUint64(),
+            db_.size());
+  EXPECT_EQ(response.Find("cache")->Find("capacity")->AsUint64(), 8u);
+}
+
+TEST_F(ServeServiceTest, ConcurrentSessionsAllGetColdIdenticalAnswers) {
+  // Four thresholds, three sessions each, all in flight at once — hits,
+  // misses, and mining-mutex contention interleaved. Every response must
+  // equal the cold run for its threshold.
+  const std::vector<double> thresholds = {0.08, 0.1, 0.15, 0.25};
+  std::vector<MaximalSetResult> cold;
+  for (const double ms : thresholds) {
+    cold.push_back(ColdMine(ms, Algorithm::kPincerAdaptive));
+  }
+
+  constexpr int kSessionsPerThreshold = 3;
+  std::vector<std::string> responses(thresholds.size() *
+                                     kSessionsPerThreshold);
+  std::vector<std::thread> sessions;
+  for (size_t t = 0; t < thresholds.size(); ++t) {
+    for (int s = 0; s < kSessionsPerThreshold; ++s) {
+      sessions.emplace_back([&, t, s] {
+        responses[t * kSessionsPerThreshold + s] = service_->HandleLine(
+            MineLine("quest", thresholds[t], "pincer-adaptive"));
+      });
+    }
+  }
+  for (std::thread& session : sessions) session.join();
+
+  for (size_t t = 0; t < thresholds.size(); ++t) {
+    for (int s = 0; s < kSessionsPerThreshold; ++s) {
+      StatusOr<JsonValue> parsed =
+          ParseJson(responses[t * kSessionsPerThreshold + s]);
+      ASSERT_TRUE(parsed.ok());
+      ASSERT_TRUE(OkOf(*parsed)) << responses[t * kSessionsPerThreshold + s];
+      EXPECT_EQ(MfsOf(*parsed), cold[t].mfs)
+          << "threshold " << thresholds[t] << " session " << s;
+    }
+  }
+}
+
+TEST_F(ServeServiceTest, InitRejectsBadConfigurations) {
+  ServerOptions empty;
+  MiningService no_dbs;
+  EXPECT_FALSE(no_dbs.Init(empty).ok());
+
+  ServerOptions duplicate;
+  duplicate.databases = {{"a", path_}, {"a", path_}};
+  MiningService dup_service;
+  EXPECT_FALSE(dup_service.Init(duplicate).ok());
+
+  ServerOptions missing;
+  missing.databases = {{"a", path_ + ".does-not-exist"}};
+  MiningService missing_service;
+  EXPECT_FALSE(missing_service.Init(missing).ok());
+}
+
+}  // namespace
+}  // namespace pincer

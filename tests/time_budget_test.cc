@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "apriori/apriori.h"
+#include "apriori/apriori_combined.h"
 #include "core/pincer_search.h"
 #include "counting/counter_factory.h"
 #include "counting/scan_budget.h"
@@ -170,6 +171,95 @@ TEST(TimeBudget, VerticalBackendAbortsMidScanInsideASinglePass) {
   EXPECT_TRUE(pincer.stats.aborted);
   EXPECT_EQ(pincer.stats.passes, 0u);
   EXPECT_TRUE(pincer.mfs.empty());
+}
+
+// The latch contract between `aborted` and `budget_exceeded` (stats schema
+// v1.3): budget_exceeded reflects the ScanBudget's latched poll, so under a
+// pure time budget (no pass cap) the two flags must agree in both
+// directions — the same invariant the differential harness asserts for
+// every paper-convention run.
+TEST(TimeBudget, TimeBudgetAbortSetsBothFlags) {
+  MiningOptions options;
+  options.min_support = 0.5;
+  options.time_budget_ms = 1e-6;
+  const FrequentSetResult apriori = AprioriMine(DeepDb(), options);
+  EXPECT_TRUE(apriori.stats.aborted);
+  EXPECT_TRUE(apriori.stats.budget_exceeded);
+
+  RandomDbParams params;
+  params.num_items = 12;
+  params.num_transactions = 60;
+  params.item_probability = 0.5;
+  params.seed = 5;
+  options.min_support = 0.1;
+  const MaximalSetResult pincer =
+      PincerSearch(MakeRandomDatabase(params), options);
+  EXPECT_TRUE(pincer.stats.aborted);
+  EXPECT_TRUE(pincer.stats.budget_exceeded);
+}
+
+TEST(TimeBudget, CompletedRunNeverReportsBudgetExceeded) {
+  // DeepDb finishes in two passes before any poll observes the expired
+  // clock: budget_exceeded is the LATCH, not a fresh clock read, so a
+  // complete result carries neither flag even under an expired budget.
+  MiningOptions options;
+  options.min_support = 0.5;
+  options.time_budget_ms = 1e-6;
+  const MaximalSetResult result = PincerSearch(DeepDb(), options);
+  EXPECT_FALSE(result.stats.aborted);
+  EXPECT_FALSE(result.stats.budget_exceeded);
+
+  options.time_budget_ms = 60000;
+  const FrequentSetResult unhurried = AprioriMine(DeepDb(), options);
+  EXPECT_FALSE(unhurried.stats.aborted);
+  EXPECT_FALSE(unhurried.stats.budget_exceeded);
+}
+
+TEST(TimeBudget, PassCapTruncationIsAbortedButNotBudgetExceeded) {
+  // The one legitimate aborted-without-budget case: a max_passes cap with
+  // work left over. budget_exceeded must stay false — there is no budget.
+  RandomDbParams params;
+  params.num_items = 12;
+  params.num_transactions = 60;
+  params.item_probability = 0.5;
+  params.seed = 5;
+  const TransactionDatabase db = MakeRandomDatabase(params);
+  MiningOptions options;
+  options.min_support = 0.1;
+  options.max_passes = 1;
+
+  const FrequentSetResult apriori = AprioriMine(db, options);
+  EXPECT_TRUE(apriori.stats.aborted);
+  EXPECT_FALSE(apriori.stats.budget_exceeded);
+  EXPECT_EQ(apriori.stats.passes, 1u);
+
+  const FrequentSetResult combined = AprioriCombinedMine(db, options);
+  EXPECT_TRUE(combined.stats.aborted);
+  EXPECT_FALSE(combined.stats.budget_exceeded);
+  EXPECT_EQ(combined.stats.passes, 1u);
+
+  const MaximalSetResult pincer = PincerSearch(db, options);
+  EXPECT_TRUE(pincer.stats.aborted);
+  EXPECT_FALSE(pincer.stats.budget_exceeded);
+}
+
+TEST(TimeBudget, GenerousPassCapDoesNotTruncate) {
+  // A cap the run never reaches leaves every driver's result identical to
+  // the uncapped run, with no flags set.
+  MiningOptions capped;
+  capped.min_support = 0.5;
+  capped.max_passes = 50;
+  MiningOptions uncapped = capped;
+  uncapped.max_passes = 0;
+
+  const FrequentSetResult a = AprioriMine(DeepDb(), capped);
+  EXPECT_FALSE(a.stats.aborted);
+  EXPECT_FALSE(a.stats.budget_exceeded);
+  EXPECT_EQ(a.frequent, AprioriMine(DeepDb(), uncapped).frequent);
+
+  const FrequentSetResult c = AprioriCombinedMine(DeepDb(), capped);
+  EXPECT_FALSE(c.stats.aborted);
+  EXPECT_EQ(c.frequent, AprioriCombinedMine(DeepDb(), uncapped).frequent);
 }
 
 }  // namespace

@@ -12,19 +12,28 @@
 //     --mfcs-cardinality-limit=N --mfcs-work-limit=N
 //     --budget-ms=MS --no-cache --id=TOKEN
 //     --format=json|text             (default json: the raw response line)
+//     --connect-timeout-ms=MS        keep retrying a refused connect (capped
+//                                    exponential backoff) for up to MS;
+//                                    default 0 = one attempt. Lets scripts
+//                                    race the daemon's startup safely.
 //
 // Exit status: 0 iff the daemon answered ok:true; 1 on an error response or
 // transport failure; 2 on bad usage.
 
+#include <algorithm>
+#include <chrono>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "util/json_reader.h"
 #include "util/json_writer.h"
 #include "util/parse_number.h"
+#include "util/retry.h"
 #include "util/socket.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -35,7 +44,7 @@ int Usage(const char* argv0) {
                "[--no-fast-path] [--max-passes=N] "
                "[--mfcs-cardinality-limit=N] [--mfcs-work-limit=N] "
                "[--budget-ms=MS] [--no-cache] [--id=TOKEN] "
-               "[--format=json|text]\n";
+               "[--format=json|text] [--connect-timeout-ms=MS]\n";
   return 2;
 }
 
@@ -58,6 +67,7 @@ int main(int argc, char** argv) {
   bool no_cache = false;
   std::string id;
   std::string format = "json";
+  double connect_timeout_ms = 0;
 
   const auto parse_size = [&](const std::string& arg, size_t prefix,
                               const char* what, std::optional<size_t>& out) {
@@ -126,6 +136,14 @@ int main(int argc, char** argv) {
         std::cerr << "--format must be 'json' or 'text'\n";
         return 2;
       }
+    } else if (arg.rfind("--connect-timeout-ms=", 0) == 0) {
+      const StatusOr<double> parsed =
+          ParseDouble(arg.substr(21), "--connect-timeout-ms");
+      if (!parsed.ok() || *parsed < 0) {
+        std::cerr << "--connect-timeout-ms needs a number >= 0\n";
+        return 2;
+      }
+      connect_timeout_ms = *parsed;
     } else {
       return Usage(argv[0]);
     }
@@ -161,9 +179,28 @@ int main(int argc, char** argv) {
     json.EndObject();
   }
 
-  StatusOr<UniqueFd> conn = socket_path.empty()
-                                ? ConnectTcp(*tcp_port)
-                                : ConnectUnix(socket_path);
+  const auto connect = [&socket_path, &tcp_port] {
+    return socket_path.empty() ? ConnectTcp(*tcp_port)
+                               : ConnectUnix(socket_path);
+  };
+  StatusOr<UniqueFd> conn = connect();
+  if (!conn.ok() && connect_timeout_ms > 0) {
+    // The daemon may still be starting (scripts launch it and query right
+    // away): retry with capped exponential backoff until the deadline.
+    RetryPolicy policy;
+    policy.initial_backoff_ms = 10;
+    policy.multiplier = 2.0;
+    policy.max_backoff_ms = 250;
+    Timer timer;
+    for (size_t retry = 1; !conn.ok(); ++retry) {
+      const double remaining = connect_timeout_ms - timer.ElapsedMillis();
+      if (remaining <= 0) break;
+      const double sleep_ms = std::min(BackoffMs(policy, retry), remaining);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(sleep_ms));
+      conn = connect();
+    }
+  }
   if (!conn.ok()) {
     std::cerr << "error: " << conn.status() << "\n";
     return 1;

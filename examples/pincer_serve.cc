@@ -10,6 +10,8 @@
 //     --default-budget-ms=MS   budget for queries that set none (default 0)
 //     --max-budget-ms=MS       hard ceiling on any query's budget (default 0)
 //     --malformed=strict|skip  row policy for the startup loads
+//     --idle-timeout-ms=MS     disconnect a session that sends nothing for
+//                              MS milliseconds (default 0 = never)
 //
 // Prints "READY <endpoint>" on stdout once listening (scripts wait for it).
 // Exits 0 on SIGTERM/SIGINT or a client's shutdown op, after draining
@@ -33,7 +35,7 @@ int Usage(const char* argv0) {
             << " --db=NAME=PATH [--db=NAME=PATH ...] "
                "(--socket=PATH | --port=N) [--threads=N] [--cache=N] "
                "[--default-budget-ms=MS] [--max-budget-ms=MS] "
-               "[--malformed=strict|skip]\n";
+               "[--malformed=strict|skip] [--idle-timeout-ms=MS]\n";
   return 2;
 }
 
@@ -52,6 +54,7 @@ int main(int argc, char** argv) {
   ServerOptions options;
   std::string socket_path;
   std::optional<uint16_t> tcp_port;
+  double idle_timeout_ms = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -114,6 +117,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.malformed_rows = *policy;
+    } else if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
+      const StatusOr<double> parsed =
+          ParseDouble(arg.substr(18), "--idle-timeout-ms");
+      if (!parsed.ok() || *parsed < 0) {
+        std::cerr << "--idle-timeout-ms needs a number >= 0\n";
+        return 2;
+      }
+      idle_timeout_ms = *parsed;
     } else {
       return Usage(argv[0]);
     }
@@ -134,6 +145,7 @@ int main(int argc, char** argv) {
   }
 
   Server server(service);
+  server.set_idle_timeout_ms(idle_timeout_ms);
   std::string endpoint;
   if (!socket_path.empty()) {
     if (const Status status = server.ListenUnix(socket_path); !status.ok()) {

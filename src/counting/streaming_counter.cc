@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "counting/candidate_trie.h"
+#include "counting/scan_budget.h"
 #include "data/transaction.h"
 #include "util/contracts.h"
 #include "util/failpoint.h"
@@ -88,6 +89,15 @@ Status StreamingCounter::CountOnce(const std::vector<Itemset>& candidates,
   Transaction transaction;
   while (true) {
     PINCER_FAILPOINT("streaming.read");
+    if (options_.budget != nullptr &&
+        line_number % kScanAbortCheckRows == 0 && line_number > 0 &&
+        options_.budget->Check()) {
+      // FailedPrecondition, not IoError: a timed-out scan must not be
+      // retried by the retry policy (it would time out again, later).
+      return Status::FailedPrecondition(
+          "time budget exceeded after " + std::to_string(line_number) +
+          " rows of " + path_);
+    }
     if (!std::getline(in, line)) break;
     ++line_number;
     const uint64_t line_offset = byte_offset;

@@ -24,11 +24,19 @@
 
 namespace pincer {
 
+class ScanBudget;
+
 /// Fault-handling knobs for the streaming path. Defaults reproduce the
-/// pre-fault-tolerance behavior: one attempt, strict parsing.
+/// pre-fault-tolerance behavior: one attempt, strict parsing, no budget.
 struct StreamingOptions {
   RetryPolicy retry;
   MalformedRowPolicy malformed_rows = MalformedRowPolicy::kStrict;
+  /// Optional non-owning wall-clock budget, polled every
+  /// kScanAbortCheckRows rows like the in-memory scan drivers. When the
+  /// deadline latches mid-scan, the pass fails with FailedPrecondition —
+  /// deliberately not IoError, so the retry policy never re-runs a scan
+  /// that timed out. The budget must outlive the counter's calls.
+  ScanBudget* budget = nullptr;
 };
 
 /// Counts candidate supports by streaming a basket file per call. Not a

@@ -31,39 +31,68 @@ StatusOr<Algorithm> ParseAlgorithm(std::string_view name) {
   return Status::InvalidArgument("unknown algorithm: " + std::string(name));
 }
 
+MiningOptions EffectiveMiningOptions(MiningOptions options,
+                                     Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kApriori:
+    case Algorithm::kAprioriCombined:
+      break;
+    case Algorithm::kPincer:
+      options.mfcs_cardinality_limit = 0;
+      break;
+    case Algorithm::kPincerAdaptive:
+      if (options.mfcs_cardinality_limit == 0) {
+        options.mfcs_cardinality_limit = kDefaultMfcsCardinalityLimit;
+      }
+      if (options.mfcs_work_limit == 0) {
+        options.mfcs_work_limit = kDefaultMfcsWorkLimit;
+      }
+      break;
+  }
+  return options;
+}
+
+std::string_view CheckpointAlgorithmId(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kApriori:
+      return "apriori";
+    case Algorithm::kAprioriCombined:
+      return "apriori-combined";
+    case Algorithm::kPincer:
+    case Algorithm::kPincerAdaptive:
+      return "pincer";
+  }
+  return "unknown";
+}
+
+size_t CheckpointCombineThreshold(Algorithm algorithm) {
+  return algorithm == Algorithm::kAprioriCombined
+             ? CombinedPassOptions().combine_threshold
+             : 0;
+}
+
 MaximalSetResult MineMaximal(const TransactionDatabase& db,
                              const MiningOptions& options,
                              Algorithm algorithm) {
+  const MiningOptions effective = EffectiveMiningOptions(options, algorithm);
   switch (algorithm) {
     case Algorithm::kApriori: {
-      const FrequentSetResult full = AprioriMine(db, options);
+      const FrequentSetResult full = AprioriMine(db, effective);
       MaximalSetResult result;
       result.mfs = full.MaximalItemsets();
       result.stats = full.stats;
       return result;
     }
     case Algorithm::kAprioriCombined: {
-      const FrequentSetResult full = AprioriCombinedMine(db, options);
+      const FrequentSetResult full = AprioriCombinedMine(db, effective);
       MaximalSetResult result;
       result.mfs = full.MaximalItemsets();
       result.stats = full.stats;
       return result;
     }
-    case Algorithm::kPincer: {
-      MiningOptions pure = options;
-      pure.mfcs_cardinality_limit = 0;
-      return PincerSearch(db, pure);
-    }
-    case Algorithm::kPincerAdaptive: {
-      MiningOptions adaptive = options;
-      if (adaptive.mfcs_cardinality_limit == 0) {
-        adaptive.mfcs_cardinality_limit = kDefaultMfcsCardinalityLimit;
-      }
-      if (adaptive.mfcs_work_limit == 0) {
-        adaptive.mfcs_work_limit = kDefaultMfcsWorkLimit;
-      }
-      return PincerSearch(db, adaptive);
-    }
+    case Algorithm::kPincer:
+    case Algorithm::kPincerAdaptive:
+      return PincerSearch(db, effective);
   }
   return MaximalSetResult{};
 }
@@ -72,10 +101,11 @@ StatusOr<MaximalSetResult> ResumeMaximal(const TransactionDatabase& db,
                                          const MiningOptions& options,
                                          Algorithm algorithm,
                                          const Checkpoint& checkpoint) {
+  const MiningOptions effective = EffectiveMiningOptions(options, algorithm);
   switch (algorithm) {
     case Algorithm::kApriori: {
       StatusOr<FrequentSetResult> full =
-          AprioriResume(db, options, checkpoint);
+          AprioriResume(db, effective, checkpoint);
       if (!full.ok()) return full.status();
       MaximalSetResult result;
       result.mfs = full->MaximalItemsets();
@@ -84,28 +114,16 @@ StatusOr<MaximalSetResult> ResumeMaximal(const TransactionDatabase& db,
     }
     case Algorithm::kAprioriCombined: {
       StatusOr<FrequentSetResult> full =
-          AprioriCombinedResume(db, options, checkpoint);
+          AprioriCombinedResume(db, effective, checkpoint);
       if (!full.ok()) return full.status();
       MaximalSetResult result;
       result.mfs = full->MaximalItemsets();
       result.stats = full->stats;
       return result;
     }
-    case Algorithm::kPincer: {
-      MiningOptions pure = options;
-      pure.mfcs_cardinality_limit = 0;
-      return PincerResume(db, pure, checkpoint);
-    }
-    case Algorithm::kPincerAdaptive: {
-      MiningOptions adaptive = options;
-      if (adaptive.mfcs_cardinality_limit == 0) {
-        adaptive.mfcs_cardinality_limit = kDefaultMfcsCardinalityLimit;
-      }
-      if (adaptive.mfcs_work_limit == 0) {
-        adaptive.mfcs_work_limit = kDefaultMfcsWorkLimit;
-      }
-      return PincerResume(db, adaptive, checkpoint);
-    }
+    case Algorithm::kPincer:
+    case Algorithm::kPincerAdaptive:
+      return PincerResume(db, effective, checkpoint);
   }
   return Status::InvalidArgument("unknown algorithm");
 }

@@ -49,6 +49,25 @@ inline constexpr size_t kDefaultMfcsCardinalityLimit = 10000;
 /// kPincerAdaptive when options.mfcs_work_limit is 0.
 inline constexpr size_t kDefaultMfcsWorkLimit = 20'000'000;
 
+/// The per-algorithm option rewrites MineMaximal applies before mining:
+/// kPincer zeroes the MFCS cardinality cap (pure Pincer-Search), and
+/// kPincerAdaptive fills the default caps in for zeros. Exposed so every
+/// layer that fingerprints options (the serve cache, the checkpoint
+/// writers, the shard orchestrator) fingerprints what the driver actually
+/// runs with.
+MiningOptions EffectiveMiningOptions(MiningOptions options,
+                                     Algorithm algorithm);
+
+/// Checkpoint-layer driver id: both pincer variants share "pincer" (the
+/// pure/adaptive distinction lives in the options fingerprint).
+std::string_view CheckpointAlgorithmId(Algorithm algorithm);
+
+/// The combine threshold that participates in the options fingerprint:
+/// MineMaximal mines apriori-combined with the default CombinedPassOptions;
+/// every other algorithm keeps the fingerprint's combine-threshold clause
+/// absent (0).
+size_t CheckpointCombineThreshold(Algorithm algorithm);
+
 /// Mines the maximum frequent set with the chosen algorithm. For kApriori
 /// the full frequent set is mined bottom-up and maximal elements are
 /// extracted afterwards (what a baseline user would have to do); the stats

@@ -1,0 +1,77 @@
+// The per-shard worker result file: the shard's local MFS with local
+// supports, stamped with the shard file's fingerprint and the worker's
+// options fingerprint so the supervisor can reject a result produced from
+// the wrong data or configuration, plus an FNV-1a checksum over the
+// semantic payload so a corrupt or truncated file is detected and treated
+// as a failed attempt rather than silently merged. Written atomically
+// (temp + rename), like checkpoints: a worker killed mid-write leaves
+// either no result or a complete one, never a torn file.
+
+#ifndef PINCER_ORCHESTRATE_SHARD_RESULT_H_
+#define PINCER_ORCHESTRATE_SHARD_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mining/checkpoint.h"
+#include "mining/frequent_itemset.h"
+#include "util/statusor.h"
+
+namespace pincer {
+
+/// Current shard-result format version. Readers reject other versions.
+inline constexpr uint64_t kShardResultVersion = 1;
+
+/// One worker's output: the local MFS of its shard. Supports are LOCAL
+/// (counts within the shard); the reconciler recounts every candidate
+/// globally, so local supports are advisory and never appear in the final
+/// answer.
+struct ShardResult {
+  uint64_t version = kShardResultVersion;
+  uint64_t shard_index = 0;
+  /// Identity of the shard FILE the worker mined (path, bytes, rows,
+  /// items) — the supervisor validates it against the shard plan.
+  DatabaseFingerprint shard;
+  /// Fingerprint of the effective mining options (mining/checkpoint.h).
+  std::string options_fingerprint;
+  /// True when this result came from a --resume re-launch that actually
+  /// restarted from a checkpoint.
+  bool resumed_from_checkpoint = false;
+  /// Advisory run stats (excluded from the checksum payload: wall clock is
+  /// nondeterministic and must not perturb result identity).
+  uint64_t passes = 0;
+  double mine_ms = 0;
+  /// The shard's local MFS, sorted lexicographically.
+  std::vector<FrequentItemset> mfs;
+};
+
+/// FNV-1a 64-bit hash, the checksum primitive (exposed for tests).
+uint64_t Fnv1a64(std::string_view data);
+
+/// The canonical payload string the checksum covers: every
+/// result-identifying field (index, shard fingerprint, options
+/// fingerprint, resumed flag, each itemset with its support) and nothing
+/// nondeterministic (no wall clock, no floats).
+std::string ShardResultChecksumPayload(const ShardResult& result);
+
+/// Serializes to pretty-printed JSON including the checksum.
+std::string ShardResultToJson(const ShardResult& result);
+
+/// Parses and validates a shard result: version, structure, itemset order,
+/// and the checksum. InvalidArgument on any mismatch — a truncated file
+/// fails the JSON parse, a bit-flipped one fails the checksum.
+StatusOr<ShardResult> ParseShardResult(std::string_view json);
+
+/// Reads and parses a shard-result file. IoError if unreadable.
+StatusOr<ShardResult> ReadShardResultFromFile(const std::string& path);
+
+/// Writes `result` to `path` atomically (serialize to `path`.tmp, rename
+/// over `path`).
+Status WriteShardResultToFile(const ShardResult& result,
+                              const std::string& path);
+
+}  // namespace pincer
+
+#endif  // PINCER_ORCHESTRATE_SHARD_RESULT_H_

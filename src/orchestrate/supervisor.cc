@@ -1,0 +1,194 @@
+#include "orchestrate/supervisor.h"
+
+#include <signal.h>
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstddef>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "util/subprocess.h"
+#include "util/timer.h"
+
+namespace pincer {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Resume is offered iff the checkpoint file exists and is non-empty (an
+/// empty file means the worker died before its first atomic rename).
+bool CheckpointAvailable(const std::string& path) {
+  if (path.empty()) return false;
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && st.st_size > 0;
+}
+
+struct TaskState {
+  enum class Phase { kPending, kRunning, kDone, kFailed };
+  Phase phase = Phase::kPending;
+  Clock::time_point next_eligible = Clock::time_point::min();
+};
+
+struct RunningAttempt {
+  size_t task_index = 0;
+  size_t attempt = 0;  // 1-based
+  bool resumed = false;
+  Subprocess process;
+  Timer attempt_timer;
+  bool term_sent = false;
+  bool kill_sent = false;
+  Timer term_timer;
+};
+
+}  // namespace
+
+Status SuperviseTasks(const std::vector<SupervisedTask>& tasks,
+                      const SupervisorOptions& options,
+                      SupervisorReport* report) {
+  if (options.slots == 0) {
+    return Status::InvalidArgument("supervisor needs at least one slot");
+  }
+  const size_t max_attempts =
+      options.max_attempts == 0 ? 1 : options.max_attempts;
+
+  SupervisorReport local_report;
+  SupervisorReport& out = report != nullptr ? *report : local_report;
+  out.tasks.assign(tasks.size(), TaskReport{});
+
+  std::vector<TaskState> states(tasks.size());
+  std::vector<RunningAttempt> running;
+  running.reserve(options.slots);
+  size_t outstanding = tasks.size();
+  Status failure = Status::OK();
+
+  // Marks the attempt failed and either re-queues the task (with backoff)
+  // or, with the budget exhausted, latches the run-level failure.
+  const auto fail_attempt = [&](size_t task_index, const std::string& reason) {
+    TaskReport& task_report = out.tasks[task_index];
+    task_report.last_failure = reason;
+    if (task_report.attempts >= max_attempts) {
+      states[task_index].phase = TaskState::Phase::kFailed;
+      --outstanding;
+      if (failure.ok()) {
+        failure = Status::FailedPrecondition(
+            tasks[task_index].name + " failed after " +
+            std::to_string(task_report.attempts) + " attempt(s); last: " +
+            reason);
+      }
+      return;
+    }
+    ++task_report.retries;
+    const double backoff_ms =
+        BackoffMs(options.backoff, task_report.attempts);
+    states[task_index].phase = TaskState::Phase::kPending;
+    states[task_index].next_eligible =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               backoff_ms));
+  };
+
+  while (outstanding > 0 && failure.ok()) {
+    // Launch eligible pending tasks into free slots, in task order.
+    for (size_t i = 0; i < tasks.size() && running.size() < options.slots;
+         ++i) {
+      if (states[i].phase != TaskState::Phase::kPending) continue;
+      if (Clock::now() < states[i].next_eligible) continue;
+
+      TaskReport& task_report = out.tasks[i];
+      const size_t attempt = static_cast<size_t>(task_report.attempts) + 1;
+      const bool resume =
+          attempt > 1 && CheckpointAvailable(tasks[i].checkpoint_path);
+      const WorkerCommand command = tasks[i].command(attempt, resume);
+      SubprocessOptions spawn_options;
+      spawn_options.log_path = tasks[i].log_path;
+      spawn_options.env = command.env;
+      StatusOr<Subprocess> process =
+          Subprocess::Spawn(command.argv, spawn_options);
+      ++task_report.attempts;
+      if (!process.ok()) {
+        fail_attempt(i, "spawn failed: " + process.status().message());
+        continue;
+      }
+      if (resume) ++task_report.recovered_from_checkpoint;
+      states[i].phase = TaskState::Phase::kRunning;
+      RunningAttempt run;
+      run.task_index = i;
+      run.attempt = attempt;
+      run.resumed = resume;
+      run.process = std::move(*process);
+      if (options.on_spawn) options.on_spawn(i, attempt, run.process.pid());
+      running.push_back(std::move(run));
+    }
+
+    // Poll running attempts: reap exits, escalate past-deadline workers.
+    for (size_t r = 0; r < running.size();) {
+      RunningAttempt& run = running[r];
+      StatusOr<std::optional<ExitStatus>> polled = run.process.Poll();
+      if (!polled.ok()) {
+        // waitpid failing is unrecoverable for this attempt; treat as a
+        // crash (the Subprocess destructor will SIGKILL + reap).
+        fail_attempt(run.task_index,
+                     "poll failed: " + polled.status().message());
+        running.erase(running.begin() + static_cast<ptrdiff_t>(r));
+        continue;
+      }
+      if (polled->has_value()) {
+        const ExitStatus exit_status = **polled;
+        const size_t task_index = run.task_index;
+        const bool timed_out = run.term_sent;
+        running.erase(running.begin() + static_cast<ptrdiff_t>(r));
+        if (timed_out) {
+          ++out.tasks[task_index].timeouts;
+          fail_attempt(task_index,
+                       "deadline exceeded (" + exit_status.ToString() + ")");
+        } else if (!exit_status.ok()) {
+          fail_attempt(task_index, "worker " + exit_status.ToString());
+        } else {
+          const Status valid =
+              tasks[task_index].validate ? tasks[task_index].validate()
+                                         : Status::OK();
+          if (valid.ok()) {
+            states[task_index].phase = TaskState::Phase::kDone;
+            out.tasks[task_index].succeeded = true;
+            --outstanding;
+          } else {
+            ++out.tasks[task_index].invalid_results;
+            fail_attempt(task_index,
+                         "result validation failed: " + valid.message());
+          }
+        }
+        continue;
+      }
+      // Still running: deadline escalation, SIGTERM then SIGKILL.
+      if (options.attempt_deadline_ms > 0 && !run.term_sent &&
+          run.attempt_timer.ElapsedMillis() > options.attempt_deadline_ms) {
+        // A kill failing (ESRCH aside, which Kill absorbs) leaves the next
+        // poll to reap whatever actually happened.
+        run.process.Kill(SIGTERM);
+        run.term_sent = true;
+        run.term_timer.Restart();
+      }
+      if (run.term_sent && !run.kill_sent &&
+          run.term_timer.ElapsedMillis() > options.term_grace_ms) {
+        run.process.Kill(SIGKILL);
+        run.kill_sent = true;
+      }
+      ++r;
+    }
+
+    if (outstanding > 0 && failure.ok()) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          options.poll_interval_ms));
+    }
+  }
+
+  // Fail fast: abandon outstanding workers (destructors SIGKILL + reap) so
+  // no orphan keeps mining for a run that already failed.
+  running.clear();
+  return failure;
+}
+
+}  // namespace pincer

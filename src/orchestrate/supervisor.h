@@ -1,0 +1,111 @@
+// Worker-process supervision: runs one subprocess per task over a bounded
+// pool of slots and shepherds every task to success or a structured
+// failure. The supervision state machine per task (docs/sharding.md):
+//
+//   pending ──launch──> running ──exit 0 + valid output──> done
+//     ^                   │ │
+//     │    crash / nonzero exit / invalid output / deadline
+//     │                   │ │
+//     │                   │ └─deadline──> SIGTERM ──grace──> SIGKILL
+//     └──backoff──────────┘        (the reap then follows the crash arc)
+//
+// A failed attempt re-enters pending after a capped exponential backoff
+// (RetryPolicy) and relaunches with resume=true when the task's checkpoint
+// file exists — crash recovery rides on the PR-4 pass-level checkpoints. A
+// task that exhausts its attempt budget fails the whole run with a Status
+// naming the task (graceful degradation: never a silent partial answer);
+// outstanding workers are killed and reaped before returning.
+
+#ifndef PINCER_ORCHESTRATE_SUPERVISOR_H_
+#define PINCER_ORCHESTRATE_SUPERVISOR_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace pincer {
+
+/// What to exec for one attempt of a task.
+struct WorkerCommand {
+  /// argv[0] must be a path to the executable (no PATH search).
+  std::vector<std::string> argv;
+  /// Extra environment entries (override inherited ones by name).
+  std::vector<std::pair<std::string, std::string>> env;
+};
+
+/// One unit of supervised work.
+struct SupervisedTask {
+  /// Name for Status messages and reports, e.g. "shard 3".
+  std::string name;
+  /// Builds the command for the given attempt (1-based). `resume` is true
+  /// when the supervisor found a non-empty checkpoint file to restart
+  /// from; the command must then arrange to resume rather than start over.
+  std::function<WorkerCommand(size_t attempt, bool resume)> command;
+  /// The task's checkpoint file; empty disables resume (every re-launch
+  /// starts over).
+  std::string checkpoint_path;
+  /// Output validation, run after a zero exit. A non-OK Status (e.g. a
+  /// corrupt or truncated result file) turns the "successful" exit into a
+  /// failed attempt.
+  std::function<Status()> validate;
+  /// Worker stdout+stderr are appended here (empty = inherit).
+  std::string log_path;
+};
+
+struct SupervisorOptions {
+  /// Concurrent worker slots (>= 1).
+  size_t slots = 1;
+  /// Attempt budget per task, including the first attempt. 0 behaves as 1.
+  size_t max_attempts = 3;
+  /// Per-attempt wall-clock deadline; a worker past it is SIGTERMed, then
+  /// SIGKILLed after term_grace_ms. 0 = no deadline (hangs are then only
+  /// bounded by the caller). The reaped attempt counts as failed.
+  double attempt_deadline_ms = 0;
+  double term_grace_ms = 2000;
+  /// Backoff between attempts of one task (capped exponential).
+  RetryPolicy backoff;
+  /// Poll cadence for child exits and deadlines.
+  double poll_interval_ms = 20;
+  /// Test hook, called after every successful spawn.
+  std::function<void(size_t task_index, size_t attempt, pid_t pid)> on_spawn;
+};
+
+/// Per-task outcome counters (all deterministic under a deterministic
+/// failure schedule; they feed the orchestrator's stats JSON).
+struct TaskReport {
+  uint64_t attempts = 0;
+  /// Re-launches (attempts - 1 for a task that eventually succeeded).
+  uint64_t retries = 0;
+  /// Re-launches that found a checkpoint and resumed from it.
+  uint64_t recovered_from_checkpoint = 0;
+  /// Attempts reaped by the deadline's SIGTERM/SIGKILL escalation.
+  uint64_t timeouts = 0;
+  /// Zero-exit attempts whose output failed validation.
+  uint64_t invalid_results = 0;
+  bool succeeded = false;
+  /// The most recent failure, for reports ("" if none).
+  std::string last_failure;
+};
+
+struct SupervisorReport {
+  std::vector<TaskReport> tasks;
+};
+
+/// Runs every task to completion. OK when all tasks succeeded;
+/// FailedPrecondition naming the first task that exhausted its attempt
+/// budget (outstanding workers are killed and reaped first). `report` (may
+/// be null) receives one TaskReport per task either way.
+Status SuperviseTasks(const std::vector<SupervisedTask>& tasks,
+                      const SupervisorOptions& options,
+                      SupervisorReport* report);
+
+}  // namespace pincer
+
+#endif  // PINCER_ORCHESTRATE_SUPERVISOR_H_

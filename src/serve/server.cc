@@ -5,7 +5,6 @@
 #include <sstream>
 #include <utility>
 
-#include "apriori/apriori_combined.h"
 #include "data/database_io.h"
 #include "mining/miner.h"
 #include "util/json_writer.h"
@@ -16,52 +15,10 @@ namespace pincer {
 
 namespace {
 
-// Checkpoint-layer driver id: both pincer variants share "pincer" (the
-// pure/adaptive distinction lives in the options fingerprint).
-std::string_view CheckpointAlgorithmId(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kApriori:
-      return "apriori";
-    case Algorithm::kAprioriCombined:
-      return "apriori-combined";
-    case Algorithm::kPincer:
-    case Algorithm::kPincerAdaptive:
-      return "pincer";
-  }
-  return "unknown";
-}
-
-// Replicates MineMaximal's per-algorithm option rewrites so cache keys are
-// fingerprints of the options the driver actually runs with — a
-// pincer-adaptive query with explicit limits equal to the defaults must hit
-// the same entry as one that left them 0.
-MiningOptions EffectiveOptions(MiningOptions options, Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kApriori:
-    case Algorithm::kAprioriCombined:
-      break;
-    case Algorithm::kPincer:
-      options.mfcs_cardinality_limit = 0;
-      break;
-    case Algorithm::kPincerAdaptive:
-      if (options.mfcs_cardinality_limit == 0) {
-        options.mfcs_cardinality_limit = kDefaultMfcsCardinalityLimit;
-      }
-      if (options.mfcs_work_limit == 0) {
-        options.mfcs_work_limit = kDefaultMfcsWorkLimit;
-      }
-      break;
-  }
-  return options;
-}
-
-// MineMaximal mines apriori-combined with the default CombinedPassOptions;
-// other algorithms keep the fingerprint's combine-threshold clause absent.
-size_t FingerprintCombineThreshold(Algorithm algorithm) {
-  return algorithm == Algorithm::kAprioriCombined
-             ? CombinedPassOptions().combine_threshold
-             : 0;
-}
+/// Accept failures tolerated back-to-back before Serve() gives up. A dead
+/// listener (EBADF, ENOTSOCK) fails every retry instantly; transient
+/// faults recover well within the allowance.
+constexpr size_t kMaxConsecutiveAcceptFailures = 8;
 
 std::string DatabaseKey(const DatabaseFingerprint& fingerprint) {
   std::ostringstream os;
@@ -278,12 +235,15 @@ std::string MiningService::HandleMine(const Request& request) {
 
   // Cache keys are fingerprints of the EFFECTIVE options — result-invariant
   // knobs (backend, threads, budget) are excluded by the checkpoint layer,
-  // so queries differing only in budget share an entry.
-  const MiningOptions effective = EffectiveOptions(options, request.algorithm);
+  // so queries differing only in budget share an entry. A pincer-adaptive
+  // query with explicit limits equal to the defaults must hit the same
+  // entry as one that left them 0, hence the MineMaximal rewrites.
+  const MiningOptions effective =
+      EffectiveMiningOptions(options, request.algorithm);
   const std::string_view algorithm_id =
       CheckpointAlgorithmId(request.algorithm);
   const size_t combine_threshold =
-      FingerprintCombineThreshold(request.algorithm);
+      CheckpointCombineThreshold(request.algorithm);
   const std::string db_key = DatabaseKey(resident->fingerprint);
   const std::string key =
       db_key + "|" +
@@ -413,16 +373,24 @@ Status Server::Serve() {
     return Status::FailedPrecondition("Serve() needs a bound listener");
   }
   Status exit_status = Status::OK();
+  size_t consecutive_accept_failures = 0;
   while (!stopping_.load(std::memory_order_acquire)) {
     StatusOr<UniqueFd> conn = AcceptConnection(listener_);
     if (!conn.ok()) {
       // Shutdown() half-closes the listener; accept failing then is the
       // normal exit, not an error.
-      if (!stopping_.load(std::memory_order_acquire)) {
-        exit_status = conn.status();
+      if (stopping_.load(std::memory_order_acquire)) break;
+      // A transient accept failure (resource pressure, an aborted
+      // handshake, an armed socket.accept failpoint) must not kill the
+      // daemon: keep serving. Only a persistently failing listener —
+      // every retry failing with no success in between — is fatal.
+      if (++consecutive_accept_failures < kMaxConsecutiveAcceptFailures) {
+        continue;
       }
+      exit_status = conn.status();
       break;
     }
+    consecutive_accept_failures = 0;
     std::lock_guard<std::mutex> lock(sessions_mu_);
     const size_t slot = session_fds_.size();
     session_fds_.push_back(conn->get());
@@ -446,6 +414,11 @@ void Server::JoinSessions() {
 }
 
 void Server::RunSession(UniqueFd fd, size_t slot) {
+  if (idle_timeout_ms_ > 0) {
+    // Best-effort: a session we cannot arm still gets served, it just
+    // never idles out.
+    SetRecvTimeout(fd, idle_timeout_ms_);
+  }
   LineReader reader(fd);
   std::string line;
   for (;;) {

@@ -129,6 +129,13 @@ class Server {
 
   uint16_t port() const { return port_; }
 
+  /// Per-session idle read timeout: a session that sends no line for this
+  /// long is disconnected (its resources freed), instead of pinning a
+  /// session thread forever. 0 = no timeout. Set before Serve().
+  void set_idle_timeout_ms(double timeout_ms) {
+    idle_timeout_ms_ = timeout_ms;
+  }
+
   /// Accepts connections until Shutdown(); joins every session thread
   /// before returning. Returns OK on a clean shutdown.
   Status Serve();
@@ -146,6 +153,7 @@ class Server {
   MiningService& service_;
   UniqueFd listener_;
   uint16_t port_ = 0;
+  double idle_timeout_ms_ = 0;
   std::atomic<bool> stopping_{false};
 
   std::mutex sessions_mu_;

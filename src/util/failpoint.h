@@ -16,6 +16,9 @@
 //   database.read        ReadDatabase per-row read loop
 //   database.read_row    ReadDatabase row buffer (corruption target)
 //   checkpoint.write     checkpoint file write
+//   socket.accept        AcceptConnection, once per call
+//   socket.read          LineReader::ReadLine, once per line
+//   socket.write         WriteLine, once per line
 //
 // Thread-safety: Arm/Disarm/Hit are mutex-guarded; the disabled fast path
 // is lock-free. Arming while a mining run is in flight is supported (the

@@ -26,15 +26,19 @@ class JsonWriter;
 inline constexpr int kStatsJsonSchemaVersion = 1;
 
 /// Minor schema revision, bumped on pure additions so consumers can probe
-/// for new fields without sniffing keys. Currently 3 (= "v1.3"): adds the
-/// top-level `budget_exceeded` bool — true iff the run's ScanBudget latched
-/// its deadline (so `aborted` and the budget latch can be reconciled by
+/// for new fields without sniffing keys. Currently 4 (= "v1.4"): adds the
+/// top-level `orchestrator` section written by pincer_shard — shard/merge/
+/// validate phase timings plus one `workers` entry per shard with its
+/// supervision counters (attempts, retries, recovered_from_checkpoint,
+/// timeouts, invalid_results). v1.3 (= 3) added the top-level
+/// `budget_exceeded` bool — true iff the run's ScanBudget latched its
+/// deadline (so `aborted` and the budget latch can be reconciled by
 /// consumers). v1.2 (= 2) added the per-pass `backend_used` string — the
 /// counting backend that served the pass (under backend=auto the adaptive
 /// per-pass pick, "array" for fast-path-only passes). v1.1 (= 1) added the
 /// per-pass `mfcs_index_ms` phase timer. Documents written by older
 /// binaries simply lack the `schema_minor` key (read it as 0).
-inline constexpr int kStatsJsonSchemaMinorVersion = 3;
+inline constexpr int kStatsJsonSchemaMinorVersion = 4;
 
 /// Aggregate work counters a SupportCounter backend fills in while
 /// counting. Collection is opt-in (MiningOptions::collect_counter_metrics):

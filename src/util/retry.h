@@ -26,6 +26,10 @@ struct RetryPolicy {
   double initial_backoff_ms = 0.0;
   /// Backoff growth factor between consecutive retries.
   double multiplier = 2.0;
+  /// Ceiling on any single backoff, in milliseconds (0 = uncapped). The
+  /// supervisor uses this so a worker with a large attempt budget never
+  /// sleeps unboundedly long between re-launches.
+  double max_backoff_ms = 0.0;
 };
 
 /// True if `status` is worth retrying under this subsystem's rules: only
@@ -39,7 +43,15 @@ inline bool IsRetryable(const Status& status) {
 inline double BackoffMs(const RetryPolicy& policy, size_t retry) {
   if (policy.initial_backoff_ms <= 0.0 || retry == 0) return 0.0;
   double backoff = policy.initial_backoff_ms;
-  for (size_t i = 1; i < retry; ++i) backoff *= policy.multiplier;
+  for (size_t i = 1; i < retry; ++i) {
+    backoff *= policy.multiplier;
+    if (policy.max_backoff_ms > 0.0 && backoff >= policy.max_backoff_ms) {
+      return policy.max_backoff_ms;
+    }
+  }
+  if (policy.max_backoff_ms > 0.0 && backoff > policy.max_backoff_ms) {
+    return policy.max_backoff_ms;
+  }
   return backoff;
 }
 

@@ -1,12 +1,17 @@
 #include "util/socket.h"
 
 #include <arpa/inet.h>
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "util/failpoint.h"
 
 namespace pincer {
 
@@ -83,6 +88,9 @@ StatusOr<uint16_t> BoundTcpPort(const UniqueFd& listener) {
 }
 
 StatusOr<UniqueFd> AcceptConnection(const UniqueFd& listener) {
+  // One evaluation per call, not per retry: an armed `once` trigger fails
+  // exactly one accept, which must look like any other transient failure.
+  PINCER_FAILPOINT("socket.accept");
   for (;;) {
     const int fd = ::accept(listener.get(), nullptr, nullptr);
     if (fd >= 0) return UniqueFd(fd);
@@ -122,7 +130,26 @@ StatusOr<UniqueFd> ConnectTcp(uint16_t port) {
   return fd;
 }
 
+Status SetRecvTimeout(const UniqueFd& fd, double timeout_ms) {
+  timeval tv{};
+  if (timeout_ms > 0) {
+    // At least 1ms: a zero timeval means "no timeout" to SO_RCVTIMEO.
+    const long micros =
+        std::max<long>(static_cast<long>(std::ceil(timeout_ms * 1000.0)),
+                       1000);
+    tv.tv_sec = micros / 1000000;
+    tv.tv_usec = micros % 1000000;
+  }
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
 Status WriteLine(const UniqueFd& fd, std::string_view line) {
+  // Per line, not per send(2) retry: a fired point loses the WHOLE line,
+  // the unit the protocol's error handling reasons about.
+  PINCER_FAILPOINT("socket.write");
   std::string framed;
   framed.reserve(line.size() + 1);
   framed.append(line);
@@ -143,6 +170,9 @@ Status WriteLine(const UniqueFd& fd, std::string_view line) {
 }
 
 StatusOr<bool> LineReader::ReadLine(std::string& line) {
+  // Per line: a fired point drops the connection mid-protocol, the fault a
+  // flaky peer or yanked cable produces.
+  PINCER_FAILPOINT("socket.read");
   line.clear();
   for (;;) {
     const size_t newline = buffer_.find('\n', pos_);
@@ -169,6 +199,10 @@ StatusOr<bool> LineReader::ReadLine(std::string& line) {
     const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // An armed SO_RCVTIMEO (SetRecvTimeout) expired while idle.
+        return Status::IoError("recv timed out waiting for a line");
+      }
       return Errno("recv");
     }
     if (n == 0) {

@@ -71,6 +71,13 @@ StatusOr<UniqueFd> AcceptConnection(const UniqueFd& listener);
 StatusOr<UniqueFd> ConnectUnix(const std::string& path);
 StatusOr<UniqueFd> ConnectTcp(uint16_t port);
 
+/// Arms a receive timeout (SO_RCVTIMEO) on `fd`: a recv blocked longer than
+/// `timeout_ms` fails, which LineReader::ReadLine reports as an IoError
+/// naming the timeout. 0 disables (blocks forever). Sub-millisecond values
+/// are rounded up to 1ms (SO_RCVTIMEO with a zero timeval means "no
+/// timeout", the opposite of what a tiny budget asks for).
+Status SetRecvTimeout(const UniqueFd& fd, double timeout_ms);
+
 /// Writes `line` plus a trailing '\n' in full (handles short writes and
 /// EINTR; SIGPIPE is suppressed in favor of an IoError return).
 Status WriteLine(const UniqueFd& fd, std::string_view line);

@@ -1,0 +1,161 @@
+#include "util/subprocess.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+extern char** environ;
+
+namespace pincer {
+
+namespace {
+
+Status Errno(std::string_view what) {
+  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+}
+
+ExitStatus FromWaitStatus(int wait_status) {
+  ExitStatus status;
+  if (WIFSIGNALED(wait_status)) {
+    status.signaled = true;
+    status.code = WTERMSIG(wait_status);
+  } else if (WIFEXITED(wait_status)) {
+    status.code = WEXITSTATUS(wait_status);
+  } else {
+    // Stopped/continued states never reach us (no WUNTRACED); treat any
+    // other encoding as an abnormal exit.
+    status.signaled = true;
+    status.code = 0;
+  }
+  return status;
+}
+
+}  // namespace
+
+std::string ExitStatus::ToString() const {
+  return (signaled ? "signal " : "exit code ") + std::to_string(code);
+}
+
+StatusOr<Subprocess> Subprocess::Spawn(const std::vector<std::string>& argv,
+                                       const SubprocessOptions& options) {
+  if (argv.empty()) {
+    return Status::InvalidArgument("Spawn needs a nonempty argv");
+  }
+
+  // Everything the child touches is materialized before fork(): in a
+  // threaded parent the child may only call async-signal-safe functions.
+  std::vector<std::string> argv_store = argv;
+  std::vector<char*> cargv;
+  cargv.reserve(argv_store.size() + 1);
+  for (std::string& arg : argv_store) cargv.push_back(arg.data());
+  cargv.push_back(nullptr);
+
+  std::vector<std::string> env_store;
+  for (char** entry = environ; *entry != nullptr; ++entry) {
+    const std::string_view text(*entry);
+    const std::string_view key = text.substr(0, text.find('='));
+    bool overridden = false;
+    for (const auto& [name, value] : options.env) {
+      if (name == key) overridden = true;
+    }
+    if (!overridden) env_store.emplace_back(text);
+  }
+  for (const auto& [name, value] : options.env) {
+    env_store.push_back(name + "=" + value);
+  }
+  std::vector<char*> cenvp;
+  cenvp.reserve(env_store.size() + 1);
+  for (std::string& entry : env_store) cenvp.push_back(entry.data());
+  cenvp.push_back(nullptr);
+
+  int log_fd = -1;
+  if (!options.log_path.empty()) {
+    log_fd = ::open(options.log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                    0644);
+    if (log_fd < 0) return Errno("open(" + options.log_path + ")");
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (log_fd >= 0) ::close(log_fd);
+    return Errno("fork");
+  }
+  if (pid == 0) {
+    // Child: async-signal-safe calls only.
+    if (log_fd >= 0) {
+      ::dup2(log_fd, STDOUT_FILENO);
+      ::dup2(log_fd, STDERR_FILENO);
+      ::close(log_fd);
+    }
+    ::execve(cargv[0], cargv.data(), cenvp.data());
+    ::_exit(127);  // exec failed; 127 is the shell's "command not found"
+  }
+  if (log_fd >= 0) ::close(log_fd);
+  return Subprocess(pid);
+}
+
+void Subprocess::KillAndReap() {
+  if (pid_ > 0 && !reaped_) {
+    ::kill(pid_, SIGKILL);
+    int wait_status = 0;
+    while (::waitpid(pid_, &wait_status, 0) < 0 && errno == EINTR) {
+    }
+    reaped_ = true;
+  }
+}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    KillAndReap();
+    pid_ = other.pid_;
+    reaped_ = other.reaped_;
+    exit_status_ = other.exit_status_;
+    other.pid_ = -1;
+    other.reaped_ = false;
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() { KillAndReap(); }
+
+StatusOr<std::optional<ExitStatus>> Subprocess::Poll() {
+  if (pid_ <= 0) return Status::FailedPrecondition("no spawned child");
+  if (reaped_) return std::optional<ExitStatus>(exit_status_);
+  int wait_status = 0;
+  const pid_t reaped = ::waitpid(pid_, &wait_status, WNOHANG);
+  if (reaped < 0) {
+    if (errno == EINTR) return std::optional<ExitStatus>();
+    return Errno("waitpid");
+  }
+  if (reaped == 0) return std::optional<ExitStatus>();
+  reaped_ = true;
+  exit_status_ = FromWaitStatus(wait_status);
+  return std::optional<ExitStatus>(exit_status_);
+}
+
+StatusOr<ExitStatus> Subprocess::Wait() {
+  if (pid_ <= 0) return Status::FailedPrecondition("no spawned child");
+  if (reaped_) return exit_status_;
+  int wait_status = 0;
+  while (::waitpid(pid_, &wait_status, 0) < 0) {
+    if (errno != EINTR) return Errno("waitpid");
+  }
+  reaped_ = true;
+  exit_status_ = FromWaitStatus(wait_status);
+  return exit_status_;
+}
+
+Status Subprocess::Kill(int signum) {
+  if (pid_ <= 0) return Status::FailedPrecondition("no spawned child");
+  if (reaped_) return Status::OK();
+  if (::kill(pid_, signum) != 0 && errno != ESRCH) {
+    return Errno("kill(" + std::to_string(pid_) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace pincer

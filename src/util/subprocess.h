@@ -1,0 +1,100 @@
+// Minimal fork/exec subprocess handle for the shard orchestrator: spawn a
+// child with an explicit argv (no shell, no PATH search), optionally
+// redirect its stdout+stderr to a log file, then poll or wait for its exit
+// status and send it signals. Everything the child needs — argv, envp, the
+// log descriptor — is prepared BEFORE fork(), so the post-fork child calls
+// only async-signal-safe functions (dup2, execve, _exit); this keeps Spawn
+// safe in multi-threaded parents, where a forked child must not touch
+// malloc or locks.
+
+#ifndef PINCER_UTIL_SUBPROCESS_H_
+#define PINCER_UTIL_SUBPROCESS_H_
+
+#include <sys/types.h>
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace pincer {
+
+/// How a reaped child terminated.
+struct ExitStatus {
+  /// True when the child was killed by a signal; `code` is then the signal
+  /// number, otherwise the exit code.
+  bool signaled = false;
+  int code = 0;
+
+  /// Clean exit(0)?
+  bool ok() const { return !signaled && code == 0; }
+
+  /// "exit code 3" or "signal 9".
+  std::string ToString() const;
+};
+
+struct SubprocessOptions {
+  /// When nonempty, the child's stdout and stderr are appended to this file
+  /// (created 0644 if missing). Workers log here so a crashed attempt's
+  /// output survives for post-mortems.
+  std::string log_path;
+  /// Extra environment entries for the child, overriding inherited
+  /// variables with the same name. The rest of the parent environment is
+  /// passed through.
+  std::vector<std::pair<std::string, std::string>> env;
+};
+
+/// Owning handle to one spawned child process. Move-only. If the handle is
+/// destroyed while the child is still running, the child is SIGKILLed and
+/// reaped — a dropped handle never leaks a zombie or an orphan worker.
+class Subprocess {
+ public:
+  /// Forks and execs `argv` (argv[0] must be a path to the executable; no
+  /// PATH search is performed). Returns IoError if fork or the log-file
+  /// open fails. An exec failure inside the child surfaces as exit code
+  /// 127, the shell convention.
+  static StatusOr<Subprocess> Spawn(const std::vector<std::string>& argv,
+                                    const SubprocessOptions& options);
+
+  Subprocess() = default;
+  ~Subprocess();
+
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  Subprocess(Subprocess&& other) noexcept { *this = std::move(other); }
+  Subprocess& operator=(Subprocess&& other) noexcept;
+
+  /// The child's pid; -1 for a default-constructed or moved-from handle.
+  pid_t pid() const { return pid_; }
+
+  /// True while the handle owns a child that has not been reaped.
+  bool running() const { return pid_ > 0 && !reaped_; }
+
+  /// Non-blocking check: nullopt while the child is still running, its
+  /// ExitStatus once it has been reaped (repeat calls keep returning the
+  /// cached status). IoError if waitpid fails.
+  StatusOr<std::optional<ExitStatus>> Poll();
+
+  /// Blocks until the child exits (EINTR retried).
+  StatusOr<ExitStatus> Wait();
+
+  /// Sends `signum` to the child. OK (a no-op) once the child has been
+  /// reaped or has already exited.
+  Status Kill(int signum);
+
+ private:
+  explicit Subprocess(pid_t pid) : pid_(pid) {}
+
+  /// SIGKILLs and reaps a still-running child (the destructor guarantee).
+  void KillAndReap();
+
+  pid_t pid_ = -1;
+  bool reaped_ = false;
+  ExitStatus exit_status_;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_UTIL_SUBPROCESS_H_

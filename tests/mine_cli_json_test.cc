@@ -134,6 +134,81 @@ TEST(MineCliJsonTest, EmptyStatsJsonPathIsUsageError) {
 #endif
 }
 
+// Checkpoint fingerprint rejection through the real CLI: --resume with a
+// checkpoint written for different data or different options must fail
+// with a clear error, never silently remine or reuse.
+TEST(MineCliResumeTest, RejectsCheckpointFromADifferentDatabase) {
+#ifndef PINCER_MINE_CLI_PATH
+  GTEST_SKIP() << "examples not built; mine_cli binary unavailable";
+#else
+  const std::string dir = testing::TempDir();
+  const std::string basket_a = dir + "/mine_cli_resume_a.basket";
+  const std::string basket_b = dir + "/mine_cli_resume_b.basket";
+  const std::string checkpoint = dir + "/mine_cli_resume_a.ckpt";
+  const std::string stderr_path = dir + "/mine_cli_resume_db.stderr";
+  {
+    std::ofstream basket(basket_a);
+    basket << kBasket;
+  }
+  {
+    std::ofstream basket(basket_b);
+    basket << kBasket << "1 2\n";  // different bytes, different fingerprint
+  }
+  std::ostringstream mine;
+  mine << PINCER_MINE_CLI_PATH << " " << basket_a
+       << " --min-support=0.25 --checkpoint=" << checkpoint
+       << " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(mine.str().c_str()), 0) << mine.str();
+
+  std::ostringstream resume;
+  resume << PINCER_MINE_CLI_PATH << " " << basket_b
+         << " --min-support=0.25 --checkpoint=" << checkpoint
+         << " --resume > /dev/null 2> " << stderr_path;
+  const int status = std::system(resume.str().c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 1);
+  std::ifstream err(stderr_path);
+  std::ostringstream captured;
+  captured << err.rdbuf();
+  EXPECT_NE(captured.str().find("was written"), std::string::npos)
+      << captured.str();
+#endif
+}
+
+TEST(MineCliResumeTest, RejectsCheckpointWithDifferentOptions) {
+#ifndef PINCER_MINE_CLI_PATH
+  GTEST_SKIP() << "examples not built; mine_cli binary unavailable";
+#else
+  const std::string dir = testing::TempDir();
+  const std::string basket_path = dir + "/mine_cli_resume_opts.basket";
+  const std::string checkpoint = dir + "/mine_cli_resume_opts.ckpt";
+  const std::string stderr_path = dir + "/mine_cli_resume_opts.stderr";
+  {
+    std::ofstream basket(basket_path);
+    basket << kBasket;
+  }
+  std::ostringstream mine;
+  mine << PINCER_MINE_CLI_PATH << " " << basket_path
+       << " --min-support=0.25 --checkpoint=" << checkpoint
+       << " > /dev/null 2>&1";
+  ASSERT_EQ(std::system(mine.str().c_str()), 0) << mine.str();
+
+  // Same database, different min_support: the options fingerprint differs.
+  std::ostringstream resume;
+  resume << PINCER_MINE_CLI_PATH << " " << basket_path
+         << " --min-support=0.5 --checkpoint=" << checkpoint
+         << " --resume > /dev/null 2> " << stderr_path;
+  const int status = std::system(resume.str().c_str());
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 1);
+  std::ifstream err(stderr_path);
+  std::ostringstream captured;
+  captured << err.rdbuf();
+  EXPECT_NE(captured.str().find("error resuming"), std::string::npos)
+      << captured.str();
+#endif
+}
+
 INSTANTIATE_TEST_SUITE_P(Algorithms, MineCliJsonTest,
                          testing::Values("apriori", "pincer",
                                          "pincer-adaptive"),

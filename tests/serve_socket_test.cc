@@ -15,6 +15,7 @@
 #include "data/database_io.h"
 #include "serve/server.h"
 #include "testing/db_builder.h"
+#include "util/failpoint.h"
 #include "util/json_reader.h"
 #include "util/socket.h"
 
@@ -112,6 +113,7 @@ class ServeSocketTest : public ::testing::Test {
   }
 
   void TearDown() override {
+    failpoint::DisarmAll();
     if (serve_thread_.joinable()) {
       server_->Shutdown();
       serve_thread_.join();
@@ -249,6 +251,87 @@ TEST(Server, ServeWithoutAListenerFailsFast) {
   Server server(service);
   const Status status = server.Serve();
   EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+// Socket failpoints (S1): the error paths recv/send/accept can hit in
+// production fire deterministically when armed.
+TEST(SocketFailpoints, ReadWriteAndAcceptSurfaceInjectedIoErrors) {
+  const std::string path = ShortSocketPath("failpoints");
+  StatusOr<UniqueFd> listener = ListenUnix(path);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  StatusOr<UniqueFd> client = ConnectUnix(path);
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // accept: the injected failure precedes the real accept, so the queued
+  // connection survives and the retry succeeds.
+  failpoint::Arm("socket.accept",
+                 {failpoint::Trigger::Once(), failpoint::Effect::kIoError});
+  StatusOr<UniqueFd> failed = AcceptConnection(*listener);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIoError);
+  StatusOr<UniqueFd> server_end = AcceptConnection(*listener);
+  ASSERT_TRUE(server_end.ok()) << server_end.status();
+
+  failpoint::Arm("socket.write",
+                 {failpoint::Trigger::Once(), failpoint::Effect::kIoError});
+  EXPECT_EQ(WriteLine(*client, "dropped").code(), StatusCode::kIoError);
+  ASSERT_TRUE(WriteLine(*client, "delivered").ok());
+
+  LineReader reader(*server_end);
+  std::string line;
+  failpoint::Arm("socket.read",
+                 {failpoint::Trigger::Once(), failpoint::Effect::kIoError});
+  const StatusOr<bool> got = reader.ReadLine(line);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kIoError);
+  // The failure was injected before any bytes were consumed; the line is
+  // still there for the retry.
+  const StatusOr<bool> retried = reader.ReadLine(line);
+  ASSERT_TRUE(retried.ok() && *retried) << retried.status();
+  EXPECT_EQ(line, "delivered");
+
+  failpoint::DisarmAll();
+  std::remove(path.c_str());
+}
+
+// S1: one failed accept must not kill the daemon — the accept loop rides
+// out transient failures and serves the next connection.
+TEST_F(ServeSocketTest, ServerSurvivesATransientAcceptFailure) {
+  // Armed before Serve() starts: the accept loop's FIRST iteration fails
+  // with the injected IoError, and the loop must ride it out and accept
+  // this connection on the next iteration.
+  failpoint::Arm("socket.accept",
+                 {failpoint::Trigger::Once(), failpoint::Effect::kIoError});
+  StartUnix();
+  UniqueFd conn = Connect();
+  ASSERT_TRUE(conn.valid());
+  EXPECT_TRUE(ResponseOk(Exchange(conn, R"({"op":"ping"})")));
+  EXPECT_EQ(failpoint::FireCount("socket.accept"), 1u);
+  failpoint::DisarmAll();
+}
+
+// S3: a session that goes silent past the idle timeout is disconnected —
+// its thread and fd are freed — while the server keeps serving new
+// connections.
+TEST_F(ServeSocketTest, IdleTimeoutDisconnectsASilentSession) {
+  server_->set_idle_timeout_ms(150);
+  StartUnix();
+  UniqueFd conn = Connect();
+  ASSERT_TRUE(conn.valid());
+  EXPECT_TRUE(ResponseOk(Exchange(conn, R"({"op":"ping"})")));
+
+  // Send nothing: the server must close this session on its own.
+  LineReader reader(conn);
+  std::string line;
+  const StatusOr<bool> got = reader.ReadLine(line);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_FALSE(*got) << "expected EOF from an idle-timed-out session, got: "
+                     << line;
+
+  // The server is still alive and accepting.
+  UniqueFd fresh = Connect();
+  ASSERT_TRUE(fresh.valid());
+  EXPECT_TRUE(ResponseOk(Exchange(fresh, R"({"op":"ping"})")));
 }
 
 }  // namespace

@@ -1,0 +1,169 @@
+// Tests for the fork/exec subprocess handle (util/subprocess.h): exit and
+// signal reporting, Poll vs Wait, env overrides, log capture, and the
+// destructor's kill-and-reap guarantee. Children are /bin/sh one-liners so
+// the tests need nothing from the build tree.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/subprocess.h"
+
+namespace pincer {
+namespace {
+
+std::vector<std::string> Sh(const std::string& script) {
+  return {"/bin/sh", "-c", script};
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(ExitStatus, ToStringAndOk) {
+  EXPECT_TRUE((ExitStatus{false, 0}).ok());
+  EXPECT_FALSE((ExitStatus{false, 3}).ok());
+  EXPECT_FALSE((ExitStatus{true, 9}).ok());
+  EXPECT_EQ((ExitStatus{false, 3}).ToString(), "exit code 3");
+  EXPECT_EQ((ExitStatus{true, 9}).ToString(), "signal 9");
+}
+
+TEST(Subprocess, CleanExitReportsCodeZero) {
+  StatusOr<Subprocess> child = Subprocess::Spawn(Sh("exit 0"), {});
+  ASSERT_TRUE(child.ok()) << child.status();
+  const StatusOr<ExitStatus> status = child->Wait();
+  ASSERT_TRUE(status.ok()) << status.status();
+  EXPECT_TRUE(status->ok());
+  EXPECT_FALSE(child->running());
+}
+
+TEST(Subprocess, NonzeroExitCodeIsReported) {
+  StatusOr<Subprocess> child = Subprocess::Spawn(Sh("exit 7"), {});
+  ASSERT_TRUE(child.ok()) << child.status();
+  const StatusOr<ExitStatus> status = child->Wait();
+  ASSERT_TRUE(status.ok());
+  EXPECT_FALSE(status->signaled);
+  EXPECT_EQ(status->code, 7);
+}
+
+TEST(Subprocess, SignalDeathIsReportedAsSignaled) {
+  StatusOr<Subprocess> child = Subprocess::Spawn(Sh("kill -KILL $$"), {});
+  ASSERT_TRUE(child.ok()) << child.status();
+  const StatusOr<ExitStatus> status = child->Wait();
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->signaled);
+  EXPECT_EQ(status->code, SIGKILL);
+}
+
+TEST(Subprocess, ExecFailureSurfacesAsExitCode127) {
+  StatusOr<Subprocess> child =
+      Subprocess::Spawn({"/no/such/binary/anywhere"}, {});
+  ASSERT_TRUE(child.ok()) << child.status();
+  const StatusOr<ExitStatus> status = child->Wait();
+  ASSERT_TRUE(status.ok());
+  EXPECT_FALSE(status->signaled);
+  EXPECT_EQ(status->code, 127);
+}
+
+TEST(Subprocess, PollIsNonBlockingAndCachesTheStatus) {
+  StatusOr<Subprocess> child = Subprocess::Spawn(Sh("sleep 30"), {});
+  ASSERT_TRUE(child.ok()) << child.status();
+  StatusOr<std::optional<ExitStatus>> poll = child->Poll();
+  ASSERT_TRUE(poll.ok()) << poll.status();
+  EXPECT_FALSE(poll->has_value());
+  EXPECT_TRUE(child->running());
+
+  ASSERT_TRUE(child->Kill(SIGKILL).ok());
+  // The kill is asynchronous; poll until the reap lands.
+  while (true) {
+    poll = child->Poll();
+    ASSERT_TRUE(poll.ok()) << poll.status();
+    if (poll->has_value()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE((*poll)->signaled);
+  EXPECT_EQ((*poll)->code, SIGKILL);
+  // Repeat polls keep returning the cached status, not an error.
+  poll = child->Poll();
+  ASSERT_TRUE(poll.ok());
+  ASSERT_TRUE(poll->has_value());
+  EXPECT_EQ((*poll)->code, SIGKILL);
+}
+
+TEST(Subprocess, EnvEntriesOverrideInheritedVariables) {
+  const std::string path = ::testing::TempDir() + "/pincer_subprocess_env_" +
+                           std::to_string(::getpid()) + ".txt";
+  SubprocessOptions options;
+  options.env = {{"PINCER_TEST_ENV", "from-parent"}};
+  StatusOr<Subprocess> child = Subprocess::Spawn(
+      Sh("printf %s \"$PINCER_TEST_ENV\" > " + path), options);
+  ASSERT_TRUE(child.ok()) << child.status();
+  const StatusOr<ExitStatus> status = child->Wait();
+  ASSERT_TRUE(status.ok() && status->ok());
+  EXPECT_EQ(ReadFile(path), "from-parent");
+  std::remove(path.c_str());
+}
+
+TEST(Subprocess, LogPathCapturesStdoutAndStderr) {
+  const std::string log = ::testing::TempDir() + "/pincer_subprocess_log_" +
+                          std::to_string(::getpid()) + ".log";
+  std::remove(log.c_str());
+  SubprocessOptions options;
+  options.log_path = log;
+  StatusOr<Subprocess> child =
+      Subprocess::Spawn(Sh("echo out; echo err >&2"), options);
+  ASSERT_TRUE(child.ok()) << child.status();
+  ASSERT_TRUE(child->Wait().ok());
+  const std::string captured = ReadFile(log);
+  EXPECT_NE(captured.find("out"), std::string::npos) << captured;
+  EXPECT_NE(captured.find("err"), std::string::npos) << captured;
+
+  // Appended, not truncated: a retry's log lands after the first attempt's.
+  StatusOr<Subprocess> again = Subprocess::Spawn(Sh("echo more"), options);
+  ASSERT_TRUE(again.ok()) << again.status();
+  ASSERT_TRUE(again->Wait().ok());
+  const std::string appended = ReadFile(log);
+  EXPECT_NE(appended.find("out"), std::string::npos) << appended;
+  EXPECT_NE(appended.find("more"), std::string::npos) << appended;
+  std::remove(log.c_str());
+}
+
+TEST(Subprocess, DestructorKillsAndReapsARunningChild) {
+  pid_t pid = -1;
+  {
+    StatusOr<Subprocess> child = Subprocess::Spawn(Sh("sleep 30"), {});
+    ASSERT_TRUE(child.ok()) << child.status();
+    pid = child->pid();
+    ASSERT_GT(pid, 0);
+  }  // handle dropped while the child runs
+  // The destructor must have reaped it: the pid no longer names a process
+  // (or at worst names an unrelated reused one we cannot signal).
+  errno = 0;
+  const int rc = ::kill(pid, 0);
+  EXPECT_TRUE(rc == -1 && errno == ESRCH) << "pid " << pid << " leaked";
+}
+
+TEST(Subprocess, MoveTransfersOwnership) {
+  StatusOr<Subprocess> spawned = Subprocess::Spawn(Sh("exit 0"), {});
+  ASSERT_TRUE(spawned.ok()) << spawned.status();
+  Subprocess moved = std::move(*spawned);
+  EXPECT_GT(moved.pid(), 0);
+  const StatusOr<ExitStatus> status = moved.Wait();
+  ASSERT_TRUE(status.ok());
+  EXPECT_TRUE(status->ok());
+}
+
+}  // namespace
+}  // namespace pincer

@@ -1,0 +1,243 @@
+// Tests for worker supervision (orchestrate/supervisor.h): the
+// pending -> running -> done/failed-attempt state machine, retry with
+// resume when a checkpoint exists, the attempt budget's graceful
+// degradation, output validation, and the deadline's SIGTERM/SIGKILL
+// escalation. Workers are /bin/sh one-liners.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "orchestrate/supervisor.h"
+
+namespace pincer {
+namespace {
+
+WorkerCommand Sh(const std::string& script) {
+  return WorkerCommand{{"/bin/sh", "-c", script}, {}};
+}
+
+SupervisorOptions FastOptions() {
+  SupervisorOptions options;
+  options.slots = 2;
+  options.max_attempts = 3;
+  options.poll_interval_ms = 2;
+  options.backoff.initial_backoff_ms = 0;  // retry immediately in tests
+  return options;
+}
+
+std::string TestScratch(const std::string& tag) {
+  return ::testing::TempDir() + "/pincer_supervisor_" + tag + "_" +
+         std::to_string(::getpid());
+}
+
+TEST(Supervisor, AllTasksSucceedFirstTry) {
+  std::vector<SupervisedTask> tasks;
+  for (int i = 0; i < 3; ++i) {
+    SupervisedTask task;
+    task.name = "task " + std::to_string(i);
+    task.command = [](size_t, bool) { return Sh("exit 0"); };
+    tasks.push_back(std::move(task));
+  }
+  SupervisorReport report;
+  const Status status = SuperviseTasks(tasks, FastOptions(), &report);
+  ASSERT_TRUE(status.ok()) << status;
+  ASSERT_EQ(report.tasks.size(), 3u);
+  for (const TaskReport& task : report.tasks) {
+    EXPECT_TRUE(task.succeeded);
+    EXPECT_EQ(task.attempts, 1u);
+    EXPECT_EQ(task.retries, 0u);
+    EXPECT_EQ(task.recovered_from_checkpoint, 0u);
+    EXPECT_TRUE(task.last_failure.empty()) << task.last_failure;
+  }
+}
+
+TEST(Supervisor, FailedAttemptIsRetriedUntilSuccess) {
+  SupervisedTask task;
+  task.name = "flaky";
+  // Attempts 1 and 2 crash with a nonzero exit; attempt 3 succeeds.
+  task.command = [](size_t attempt, bool) {
+    return Sh(attempt < 3 ? "exit 1" : "exit 0");
+  };
+  SupervisorReport report;
+  const Status status = SuperviseTasks({task}, FastOptions(), &report);
+  ASSERT_TRUE(status.ok()) << status;
+  ASSERT_EQ(report.tasks.size(), 1u);
+  EXPECT_TRUE(report.tasks[0].succeeded);
+  EXPECT_EQ(report.tasks[0].attempts, 3u);
+  EXPECT_EQ(report.tasks[0].retries, 2u);
+  // No checkpoint file was ever configured, so no recovery either.
+  EXPECT_EQ(report.tasks[0].recovered_from_checkpoint, 0u);
+  EXPECT_NE(report.tasks[0].last_failure.find("exit code 1"),
+            std::string::npos)
+      << report.tasks[0].last_failure;
+}
+
+TEST(Supervisor, ExhaustedBudgetFailsNamingTheTask) {
+  SupervisedTask hopeless;
+  hopeless.name = "shard 5";
+  hopeless.command = [](size_t, bool) { return Sh("exit 3"); };
+  SupervisedTask fine;
+  fine.name = "shard 6";
+  fine.command = [](size_t, bool) { return Sh("exit 0"); };
+  SupervisorOptions options = FastOptions();
+  options.max_attempts = 2;
+  SupervisorReport report;
+  const Status status = SuperviseTasks({hopeless, fine}, options, &report);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("shard 5"), std::string::npos) << status;
+  EXPECT_NE(status.message().find("exit code 3"), std::string::npos) << status;
+  ASSERT_EQ(report.tasks.size(), 2u);
+  EXPECT_FALSE(report.tasks[0].succeeded);
+  EXPECT_EQ(report.tasks[0].attempts, 2u);
+}
+
+TEST(Supervisor, SignaledWorkerCountsAsFailedAttempt) {
+  SupervisedTask task;
+  task.name = "crashy";
+  task.command = [](size_t attempt, bool) {
+    return Sh(attempt == 1 ? "kill -KILL $$" : "exit 0");
+  };
+  SupervisorReport report;
+  const Status status = SuperviseTasks({task}, FastOptions(), &report);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(report.tasks[0].attempts, 2u);
+  EXPECT_NE(report.tasks[0].last_failure.find("signal"), std::string::npos)
+      << report.tasks[0].last_failure;
+}
+
+TEST(Supervisor, RelaunchResumesWhenACheckpointExists) {
+  const std::string checkpoint = TestScratch("ckpt") + ".ckpt";
+  std::remove(checkpoint.c_str());
+  std::atomic<int> resumed_attempt{0};
+  SupervisedTask task;
+  task.name = "recovering";
+  task.checkpoint_path = checkpoint;
+  // Attempt 1 "writes a checkpoint" then crashes; the relaunch must be
+  // asked to resume, because the checkpoint file now exists and is
+  // non-empty.
+  task.command = [&](size_t attempt, bool resume) {
+    if (resume) resumed_attempt = static_cast<int>(attempt);
+    if (attempt == 1) {
+      return Sh("printf checkpoint > " + checkpoint + "; exit 1");
+    }
+    return Sh("exit 0");
+  };
+  SupervisorReport report;
+  const Status status = SuperviseTasks({task}, FastOptions(), &report);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(report.tasks[0].attempts, 2u);
+  EXPECT_EQ(report.tasks[0].retries, 1u);
+  EXPECT_EQ(report.tasks[0].recovered_from_checkpoint, 1u);
+  EXPECT_EQ(resumed_attempt.load(), 2);
+  std::remove(checkpoint.c_str());
+}
+
+TEST(Supervisor, EmptyCheckpointFileDoesNotTriggerResume) {
+  const std::string checkpoint = TestScratch("empty_ckpt") + ".ckpt";
+  {
+    std::ofstream out(checkpoint, std::ios::trunc);  // exists but empty
+  }
+  bool resume_seen = false;
+  SupervisedTask task;
+  task.name = "fresh";
+  task.checkpoint_path = checkpoint;
+  task.command = [&](size_t attempt, bool resume) {
+    resume_seen = resume_seen || resume;
+    return Sh(attempt == 1 ? "exit 1" : "exit 0");
+  };
+  SupervisorReport report;
+  ASSERT_TRUE(SuperviseTasks({task}, FastOptions(), &report).ok());
+  EXPECT_FALSE(resume_seen);
+  EXPECT_EQ(report.tasks[0].recovered_from_checkpoint, 0u);
+  std::remove(checkpoint.c_str());
+}
+
+TEST(Supervisor, InvalidOutputTurnsSuccessIntoFailedAttempt) {
+  const std::string result = TestScratch("result") + ".out";
+  std::remove(result.c_str());
+  SupervisedTask task;
+  task.name = "validated";
+  // Every attempt exits 0; only the second writes the expected output.
+  task.command = [&](size_t attempt, bool) {
+    return Sh(attempt == 1 ? "exit 0" : "printf done > " + result);
+  };
+  task.validate = [&]() -> Status {
+    std::ifstream in(result);
+    if (!in.good()) return Status::InvalidArgument("result file missing");
+    return Status::OK();
+  };
+  SupervisorReport report;
+  const Status status = SuperviseTasks({task}, FastOptions(), &report);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_TRUE(report.tasks[0].succeeded);
+  EXPECT_EQ(report.tasks[0].attempts, 2u);
+  EXPECT_EQ(report.tasks[0].invalid_results, 1u);
+  EXPECT_NE(report.tasks[0].last_failure.find("result file missing"),
+            std::string::npos)
+      << report.tasks[0].last_failure;
+  std::remove(result.c_str());
+}
+
+TEST(Supervisor, DeadlineEscalatesToSigtermThenSigkill) {
+  SupervisedTask task;
+  task.name = "hung";
+  // The worker ignores SIGTERM, so only the SIGKILL escalation can end it.
+  task.command = [](size_t attempt, bool) {
+    return Sh(attempt == 1 ? "trap '' TERM; sleep 30" : "exit 0");
+  };
+  SupervisorOptions options = FastOptions();
+  options.attempt_deadline_ms = 150;
+  options.term_grace_ms = 50;
+  SupervisorReport report;
+  const Status status = SuperviseTasks({task}, options, &report);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_TRUE(report.tasks[0].succeeded);
+  EXPECT_EQ(report.tasks[0].attempts, 2u);
+  EXPECT_EQ(report.tasks[0].timeouts, 1u);
+  EXPECT_NE(report.tasks[0].last_failure.find("deadline"), std::string::npos)
+      << report.tasks[0].last_failure;
+}
+
+TEST(Supervisor, SingleSlotRunsEveryTaskToCompletion) {
+  std::atomic<size_t> spawns{0};
+  std::vector<SupervisedTask> tasks;
+  for (int i = 0; i < 4; ++i) {
+    SupervisedTask task;
+    task.name = "slot " + std::to_string(i);
+    task.command = [](size_t, bool) { return Sh("sleep 0.05"); };
+    tasks.push_back(std::move(task));
+  }
+  SupervisorOptions options = FastOptions();
+  options.slots = 1;
+  options.on_spawn = [&](size_t, size_t, pid_t) { ++spawns; };
+  SupervisorReport report;
+  const Status status = SuperviseTasks(tasks, options, &report);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(spawns.load(), 4u);
+  for (const TaskReport& task : report.tasks) EXPECT_TRUE(task.succeeded);
+}
+
+TEST(Supervisor, LogPathCapturesWorkerOutput) {
+  const std::string log = TestScratch("log") + ".log";
+  std::remove(log.c_str());
+  SupervisedTask task;
+  task.name = "logged";
+  task.command = [](size_t, bool) { return Sh("echo from-worker"); };
+  task.log_path = log;
+  ASSERT_TRUE(SuperviseTasks({task}, FastOptions(), nullptr).ok());
+  std::ifstream in(log);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("from-worker"), std::string::npos) << contents;
+  std::remove(log.c_str());
+}
+
+}  // namespace
+}  // namespace pincer

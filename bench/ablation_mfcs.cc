@@ -56,6 +56,7 @@ TransactionDatabase MakeConcentratedDb(size_t scale) {
   StatusOr<TransactionDatabase> db = GenerateQuestDatabase(params);
   if (!db.ok()) {
     std::cerr << "generation failed: " << db.status() << "\n";
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded CLI setup
     std::exit(1);
   }
   return std::move(db).value();
@@ -168,6 +169,7 @@ void BackendComparison(const TransactionDatabase& db, double min_support) {
         !(apriori.mfs == pincer.mfs)) {
       std::cerr << "FATAL: MFS mismatch on backend "
                 << CounterBackendName(backend) << "\n";
+      // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded CLI setup
       std::exit(1);
     }
     table.AddRow({std::string(CounterBackendName(backend)),

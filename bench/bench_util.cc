@@ -109,6 +109,7 @@ BenchConfig ParseBenchArgs(int argc, char** argv) {
       }
       if (!found) {
         std::fprintf(stderr, "unknown backend '%s'\n", name.c_str());
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded CLI setup
         std::exit(2);
       }
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -124,6 +125,7 @@ BenchConfig ParseBenchArgs(int argc, char** argv) {
       config.json_path = arg.substr(7);
       if (config.json_path.empty()) {
         std::fprintf(stderr, "--json needs a file path\n");
+        // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded CLI setup
         std::exit(2);
       }
     } else {
@@ -133,6 +135,7 @@ BenchConfig ParseBenchArgs(int argc, char** argv) {
                    "[--skip-apriori] "
                    "[--budget=MS] [--json=FILE]\n",
                    argv[0]);
+      // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded CLI setup
       std::exit(2);
     }
   }
@@ -159,6 +162,7 @@ void RunExperiment(const ExperimentSpec& spec, const BenchConfig& config) {
   const StatusOr<TransactionDatabase> db = GenerateQuestDatabase(quest);
   if (!db.ok()) {
     std::cerr << "generation failed: " << db.status() << "\n";
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded CLI setup
     std::exit(1);
   }
   const DatabaseStats stats = ComputeStats(*db);
@@ -239,6 +243,7 @@ void RunExperiment(const ExperimentSpec& spec, const BenchConfig& config) {
         if (!pincer.stats.aborted && !(apriori.mfs == pincer.mfs)) {
           std::cerr << "FATAL: Apriori and Pincer-Search disagree at minsup "
                     << min_support << "\n";
+          // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded CLI setup
           std::exit(1);
         }
         apriori_ms =

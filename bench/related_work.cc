@@ -56,6 +56,7 @@ void Compare(const TransactionDatabase& db, const std::string& db_name,
                        !(apriori.MaximalItemsets() == pincer.mfs))) {
     std::cerr << "FATAL: algorithms disagree at minsup " << min_support
               << "\n";
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): single-threaded CLI setup
     std::exit(1);
   }
 

@@ -26,6 +26,8 @@ int FuzzDatabaseIo(const uint8_t* data, size_t size);
 int FuzzJsonReader(const uint8_t* data, size_t size);
 int FuzzCheckpoint(const uint8_t* data, size_t size);
 int FuzzFailpointSpec(const uint8_t* data, size_t size);
+int FuzzServeRequest(const uint8_t* data, size_t size);
+int FuzzShardResult(const uint8_t* data, size_t size);
 
 }  // namespace fuzz
 }  // namespace pincer

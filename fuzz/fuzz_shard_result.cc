@@ -1,0 +1,37 @@
+// Fuzzes the shard-result reader (orchestrate/shard_result.h). Result
+// files are produced by workers but the supervisor must survive a corrupt,
+// truncated, or adversarially-edited file: ParseShardResult returns
+// InvalidArgument, never aborts. On an accepted parse the serialize →
+// re-parse round trip must be the identity on the checksum payload — the
+// canonical string covering every result-identifying field — or the merge
+// step could accept a result whose identity drifts across a rewrite.
+
+#include <string>
+#include <string_view>
+
+#include "fuzz/fuzz_harness.h"
+#include "orchestrate/shard_result.h"
+
+namespace pincer {
+namespace fuzz {
+
+int FuzzShardResult(const uint8_t* data, size_t size) {
+  const std::string_view json(reinterpret_cast<const char*>(data), size);
+  const StatusOr<ShardResult> parsed = ParseShardResult(json);
+  if (!parsed.ok()) return 0;
+  // An accepted result round-trips: re-serializing and re-parsing must
+  // reproduce the exact checksum payload (and therefore the checksum).
+  const std::string payload = ShardResultChecksumPayload(parsed.value());
+  const std::string rewritten = ShardResultToJson(parsed.value());
+  const StatusOr<ShardResult> reparsed = ParseShardResult(rewritten);
+  if (!reparsed.ok()) __builtin_trap();
+  if (ShardResultChecksumPayload(reparsed.value()) != payload) {
+    __builtin_trap();
+  }
+  return 0;
+}
+
+}  // namespace fuzz
+}  // namespace pincer
+
+PINCER_FUZZ_ENTRYPOINT(pincer::fuzz::FuzzShardResult)

@@ -1,0 +1,281 @@
+#!/usr/bin/env python3
+"""Negative-compilation harness for the thread-safety gate.
+
+The `thread-safety` CI job builds the tree with Clang and
+-Wthread-safety -Wthread-safety-beta -Werror, which proves the tree is
+*clean*. This script proves the gate is *live*: it compiles a battery of
+seeded lock-protocol violations against src/util/sync.h and asserts that
+each one produces the expected -Wthread-safety diagnostic, plus one known
+-good snippet that must compile silently (so a future macro regression that
+turns the annotations into no-ops under Clang is caught, not silently
+shipped as a vacuously green build).
+
+Seeded violations (one per capability rule the repo relies on):
+
+  guarded-write-no-lock    writing a PINCER_GUARDED_BY field unlocked
+  guarded-read-no-lock     reading a PINCER_GUARDED_BY field unlocked
+  requires-not-held        calling a PINCER_REQUIRES function unlocked
+  lock-leak                returning with a Mutex still held
+  excludes-held            calling a PINCER_EXCLUDES function while holding
+  pt-guarded-deref         dereferencing a PINCER_PT_GUARDED_BY pointer
+                           unlocked
+
+Usage:
+  scripts/check_thread_safety.py              run the battery (exit 1 on a
+                                              missing diagnostic); exits 0
+                                              with a notice when no Clang
+                                              with -Wthread-safety support
+                                              is on PATH
+  scripts/check_thread_safety.py --self-test  additionally verify the
+                                              harness machinery itself
+                                              flags a wrong expectation
+  scripts/check_thread_safety.py --compiler=clang++-18   explicit compiler
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+PRELUDE = '#include "util/sync.h"\n\nusing pincer::CondVar;\n' \
+    "using pincer::Mutex;\nusing pincer::MutexLock;\n\n"
+
+# (name, expected-diagnostic regex or None for must-compile-clean, code)
+SNIPPETS: list[tuple[str, str | None, str]] = [
+    (
+        "clean-usage",
+        None,
+        """
+struct Counter {
+  Mutex mu;
+  CondVar cv;
+  int value PINCER_GUARDED_BY(mu) = 0;
+  int* slot PINCER_PT_GUARDED_BY(mu) = nullptr;
+
+  void Add(int n) PINCER_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    value += n;
+    if (slot != nullptr) *slot = value;
+    cv.NotifyOne();
+  }
+  int Read() PINCER_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    while (value == 0) cv.Wait(mu);
+    return value;
+  }
+  int ReadLocked() PINCER_REQUIRES(mu) { return value; }
+  int ReadViaRequires() PINCER_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    return ReadLocked();
+  }
+};
+""",
+    ),
+    (
+        "guarded-write-no-lock",
+        r"writing variable 'value' requires holding mutex 'mu'",
+        """
+struct Counter {
+  Mutex mu;
+  int value PINCER_GUARDED_BY(mu) = 0;
+  void Add(int n) { value += n; }
+};
+""",
+    ),
+    (
+        "guarded-read-no-lock",
+        r"reading variable 'value' requires holding mutex 'mu'",
+        """
+struct Counter {
+  Mutex mu;
+  int value PINCER_GUARDED_BY(mu) = 0;
+  int Read() const { return value; }
+};
+""",
+    ),
+    (
+        "requires-not-held",
+        r"calling function 'ReadLocked' requires holding mutex 'mu'",
+        """
+struct Counter {
+  Mutex mu;
+  int value PINCER_GUARDED_BY(mu) = 0;
+  int ReadLocked() PINCER_REQUIRES(mu) { return value; }
+  int Read() { return ReadLocked(); }
+};
+""",
+    ),
+    (
+        "lock-leak",
+        r"mutex 'mu' is still held at the end of function",
+        """
+struct Counter {
+  Mutex mu;
+  int value PINCER_GUARDED_BY(mu) = 0;
+  int Read() {
+    mu.Lock();
+    return value;
+  }
+};
+""",
+    ),
+    (
+        "excludes-held",
+        r"cannot call function 'Add' while mutex 'mu' is held",
+        """
+struct Counter {
+  Mutex mu;
+  int value PINCER_GUARDED_BY(mu) = 0;
+  void Add(int n) PINCER_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    value += n;
+  }
+  void Twice() {
+    MutexLock lock(mu);
+    Add(1);
+  }
+};
+""",
+    ),
+    (
+        "pt-guarded-deref",
+        r"reading the value pointed to by 'slot' requires holding mutex 'mu'",
+        """
+struct Counter {
+  Mutex mu;
+  int* slot PINCER_PT_GUARDED_BY(mu) = nullptr;
+  int Read() { return *slot; }
+};
+""",
+    ),
+]
+
+TSA_FLAGS = ["-Wthread-safety", "-Wthread-safety-beta", "-Werror"]
+
+
+def find_compiler(explicit: str | None) -> str | None:
+    """Locates a Clang that understands -Wthread-safety. GCC silently
+    accepts unknown -W flags only with -Wno-*, so anything that errors on
+    -Wthread-safety (or is not Clang at all) is rejected."""
+    candidates = []
+    if explicit:
+        candidates.append(explicit)
+    else:
+        candidates.append("clang++")
+        candidates.extend(f"clang++-{v}" for v in range(21, 13, -1))
+    for name in candidates:
+        path = shutil.which(name)
+        if path is None:
+            continue
+        probe = subprocess.run(
+            [path, "--version"], capture_output=True, text=True
+        )
+        if probe.returncode == 0 and "clang" in probe.stdout.lower():
+            return path
+    return None
+
+
+def compile_snippet(compiler: str, code: str) -> subprocess.CompletedProcess:
+    with tempfile.TemporaryDirectory() as tmp:
+        source = Path(tmp) / "snippet.cc"
+        source.write_text(PRELUDE + code)
+        return subprocess.run(
+            [
+                compiler,
+                "-std=c++20",
+                "-fsyntax-only",
+                f"-I{REPO_ROOT / 'src'}",
+                *TSA_FLAGS,
+                str(source),
+            ],
+            capture_output=True,
+            text=True,
+        )
+
+
+def run_battery(compiler: str) -> int:
+    failures = 0
+    for name, expect, code in SNIPPETS:
+        result = compile_snippet(compiler, code)
+        if expect is None:
+            ok = result.returncode == 0
+            detail = "compiles clean" if ok else result.stderr.strip()
+        else:
+            fired = re.search(expect, result.stderr) is not None
+            ok = result.returncode != 0 and fired
+            if ok:
+                detail = f"diagnostic fired: {expect}"
+            elif result.returncode == 0:
+                detail = "compiled clean but a violation was seeded"
+            else:
+                detail = (
+                    f"compile failed but not with /{expect}/; stderr:\n"
+                    + result.stderr.strip()
+                )
+        status = "PASS" if ok else "FAIL"
+        if not ok:
+            failures += 1
+        print(f"[{status}] {name}: {detail}")
+    if failures:
+        print(
+            f"check_thread_safety.py: {failures} snippet(s) did not behave",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_thread_safety.py: all {len(SNIPPETS)} snippets behave")
+    return 0
+
+
+def self_test(compiler: str) -> int:
+    """Harness-machinery check: a deliberately wrong expectation must be
+    reported, proving a silent regression in the battery itself cannot
+    pass."""
+    rc = run_battery(compiler)
+    if rc != 0:
+        return rc
+    # The clean snippet with a violation expectation bolted on must FAIL
+    # the harness logic (it compiles clean, so no diagnostic can match).
+    clean_code = next(code for _, exp, code in SNIPPETS if exp is None)
+    result = compile_snippet(compiler, clean_code)
+    if result.returncode != 0:
+        print("[FAIL] self-test: clean snippet stopped compiling")
+        return 1
+    if re.search(r"requires holding mutex", result.stderr):
+        print("[FAIL] self-test: clean snippet emitted a TSA diagnostic")
+        return 1
+    print("[PASS] self-test: harness distinguishes clean from violating")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--compiler", help="clang++ binary to use")
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="also verify the harness machinery itself",
+    )
+    args = parser.parse_args()
+    compiler = find_compiler(args.compiler)
+    if compiler is None:
+        # Same graceful posture as scripts/run_clang_tidy.py: local trees
+        # without Clang skip; CI installs Clang and enforces.
+        print(
+            "check_thread_safety.py: no clang++ with -Wthread-safety on "
+            "PATH; skipping (CI enforces this gate)"
+        )
+        return 0
+    if args.self_test:
+        return self_test(compiler)
+    return run_battery(compiler)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,14 @@ Enforces project rules that clang-tidy cannot express (CI job
                    (differential harness, checkpoint resume bit-identity),
                    so all randomness flows through the seeded SplitMix64
                    PRNG.
+  raw-mutex        std::mutex / std::lock_guard / std::unique_lock /
+                   std::condition_variable (and friends) anywhere outside
+                   src/util/sync.h. Lock protocols are compiler-checked via
+                   the annotated Mutex/MutexLock/CondVar wrappers (Clang
+                   -Wthread-safety); a raw primitive is invisible to that
+                   analysis. Suppress (e.g. in a test that needs a bare
+                   std::mutex on purpose) with
+                   `// lint: allow-raw-mutex(<reason>)`.
   include-guard    every header uses a PINCER_<PATH>_H_ include guard whose
                    name matches its path (src/ prefix stripped), so moves
                    and copies cannot silently collide.
@@ -46,6 +54,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 CPP_SUFFIXES = {".cc", ".h"}
 
 ALLOW_NEW = re.compile(r"//\s*lint:\s*allow-new\b")
+ALLOW_RAW_MUTEX = re.compile(r"//\s*lint:\s*allow-raw-mutex\b")
+RAW_MUTEX = re.compile(
+    r"\bstd::(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable(_any)?)\b"
+)
 NAKED_NEW = re.compile(r"\bnew\s+[A-Za-z_:(<]")
 MALLOC_FAMILY = re.compile(r"\b(malloc|calloc|realloc|free)\s*\(")
 STD_ENDL = re.compile(r"\bstd::endl\b")
@@ -155,6 +169,27 @@ def lint_file(path: Path, relpath: str, text: str) -> list[Finding]:
                         "// lint: allow-new(<reason>)",
                     )
                 )
+
+        raw_mutex_suppressed = ALLOW_RAW_MUTEX.search(raw) or (
+            ALLOW_RAW_MUTEX.search(prev)
+        )
+        if (
+            is_cpp
+            and relpath != "src/util/sync.h"
+            and not raw_mutex_suppressed
+            and RAW_MUTEX.search(code)
+        ):
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "raw-mutex",
+                    "raw synchronization primitive outside src/util/sync.h "
+                    "— use the annotated Mutex/MutexLock/CondVar wrappers "
+                    "(compiler-checked lock protocols), or suppress with "
+                    "// lint: allow-raw-mutex(<reason>)",
+                )
+            )
 
         if is_cpp and in_src and STD_ENDL.search(code):
             findings.append(
@@ -269,6 +304,25 @@ SELF_TEST_CASES = {
     "malloc": ("src/core/x.cc", "void* p = malloc(8);\n"),
     "std-endl": ("src/core/x.cc", "os << std::endl;\n"),
     "std-endl-tests-ok": ("tests/x.cc", "os << std::endl;\n"),
+    "raw-mutex": ("src/core/x.cc", "std::mutex mu;\n"),
+    "raw-mutex-lock-guard": (
+        "tests/x.cc",
+        "std::lock_guard<std::mutex> lock(mu);\n",
+    ),
+    "raw-mutex-condvar": ("src/serve/x.cc", "std::condition_variable cv;\n"),
+    "raw-mutex-sync-h-ok": (
+        "src/util/sync.h",
+        "#ifndef PINCER_UTIL_SYNC_H_\n#define PINCER_UTIL_SYNC_H_\n"
+        "std::mutex mu_;\n#endif  // PINCER_UTIL_SYNC_H_\n",
+    ),
+    "raw-mutex-suppressed-ok": (
+        "src/core/x.cc",
+        "std::mutex mu;  // lint: allow-raw-mutex(interop with external API)\n",
+    ),
+    "raw-mutex-comment-ok": (
+        "src/core/x.cc",
+        "// std::mutex is forbidden outside sync.h\n",
+    ),
     "nondeterminism": ("src/core/x.cc", "int r = rand();\n"),
     "nondeterminism-gen-ok": ("src/gen/x.cc", "std::mt19937 rng;\n"),
     "relative-include": ("src/core/x.cc", '#include "../util/y.h"\n'),

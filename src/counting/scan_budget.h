@@ -33,7 +33,11 @@ inline constexpr size_t kScanAbortCheckRows = 4096;
 inline constexpr size_t kVerticalBudgetCheckCandidates = 64;
 
 /// A shared deadline for the scanning backends. Thread-safe: workers of a
-/// pooled scan poll and latch it concurrently.
+/// pooled scan poll and latch it concurrently. Deliberately lock-free —
+/// one relaxed atomic flag, no Mutex — so it carries no util/sync.h
+/// capability annotations: there is no guarded state, only a monotonic
+/// latch whose happens-before edges come from the ThreadPool batch
+/// completion (the miner reads exceeded() only after RunBatch drains).
 class ScanBudget {
  public:
   /// Deadline `budget_ms` milliseconds from now.

@@ -84,6 +84,8 @@ Status ClearWorkDir(const std::string& work_dir) {
     return Status::IoError("cannot list work dir " + work_dir);
   }
   std::vector<std::string> doomed;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): each call site owns its DIR*
+  // stream; glibc readdir races only on a shared stream.
   while (struct dirent* entry = ::readdir(dir)) {
     const std::string name = entry->d_name;
     if (name == "manifest.json" || name == "manifest.json.tmp" ||

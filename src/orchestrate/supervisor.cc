@@ -165,15 +165,19 @@ Status SuperviseTasks(const std::vector<SupervisedTask>& tasks,
       // Still running: deadline escalation, SIGTERM then SIGKILL.
       if (options.attempt_deadline_ms > 0 && !run.term_sent &&
           run.attempt_timer.ElapsedMillis() > options.attempt_deadline_ms) {
-        // A kill failing (ESRCH aside, which Kill absorbs) leaves the next
-        // poll to reap whatever actually happened.
-        run.process.Kill(SIGTERM);
+        // (void): best-effort by design — a kill failing (ESRCH aside,
+        // which Kill absorbs) leaves the next poll to reap whatever
+        // actually happened.
+        (void)run.process.Kill(SIGTERM);
         run.term_sent = true;
         run.term_timer.Restart();
       }
       if (run.term_sent && !run.kill_sent &&
           run.term_timer.ElapsedMillis() > options.term_grace_ms) {
-        run.process.Kill(SIGKILL);
+        // (void): same best-effort contract as the SIGTERM above; SIGKILL
+        // cannot be refused by a live child, and a dead one is reaped by
+        // the next poll either way.
+        (void)run.process.Kill(SIGKILL);
         run.kill_sent = true;
       }
       ++r;

@@ -58,7 +58,13 @@ Status MiningService::Init(const ServerOptions& options) {
     return Status::InvalidArgument("the daemon needs at least one database");
   }
   pool_ = std::make_unique<ThreadPool>(options_.num_threads);
-  cache_ = std::make_unique<ResultCache>(options_.cache_capacity);
+  {
+    // Init precedes the first HandleLine by contract, but cache_ is a
+    // guarded field, and the guard is cheap here: state the protocol once,
+    // uniformly, instead of special-casing setup.
+    MutexLock lock(cache_mu_);
+    cache_ = std::make_unique<ResultCache>(options_.cache_capacity);
+  }
 
   DatabaseReadOptions read_options;
   read_options.malformed_rows = options_.malformed_rows;
@@ -142,7 +148,7 @@ std::string MiningService::HandleList(const Request& request) {
   json.EndArray();
   json.Key("cache").BeginObject();
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     json.KeyValue("entries", static_cast<uint64_t>(cache_->size()));
     json.KeyValue("capacity", static_cast<uint64_t>(cache_->capacity()));
   }
@@ -261,7 +267,7 @@ std::string MiningService::HandleMine(const Request& request) {
     std::shared_ptr<const ResultCache::Entry> exact;
     std::shared_ptr<const ResultCache::Entry> base;
     {
-      std::lock_guard<std::mutex> lock(cache_mu_);
+      MutexLock lock(cache_mu_);
       exact = cache_->Lookup(key);
       if (exact == nullptr) base = cache_->LookupFilterBase(family, min_count);
     }
@@ -287,7 +293,7 @@ std::string MiningService::HandleMine(const Request& request) {
         derived->stats = base->stats;
         derived->supports = base->supports;
         {
-          std::lock_guard<std::mutex> lock(cache_mu_);
+          MutexLock lock(cache_mu_);
           cache_->Insert(derived);
         }
         return MineResponse(request, resident->name, resident->db.size(),
@@ -300,12 +306,12 @@ std::string MiningService::HandleMine(const Request& request) {
 
   // Full mine. Serialized: the shared pool and the resident counter are
   // single-owner. Cache hits for other sessions proceed concurrently.
-  std::lock_guard<std::mutex> mining_lock(mining_mu_);
+  MutexLock mining_lock(mining_mu_);
   if (!request.no_cache) {
     // An identical query may have finished while this one waited its turn.
     std::shared_ptr<const ResultCache::Entry> exact;
     {
-      std::lock_guard<std::mutex> lock(cache_mu_);
+      MutexLock lock(cache_mu_);
       exact = cache_->Lookup(key);
     }
     if (exact != nullptr) {
@@ -342,7 +348,7 @@ std::string MiningService::HandleMine(const Request& request) {
     entry->stats = result.stats;
     entry->supports =
         std::make_shared<SupportIndex>(final_checkpoint, result.mfs);
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     cache_->Insert(std::move(entry));
   }
   return MineResponse(request, resident->name, resident->db.size(),
@@ -391,7 +397,7 @@ Status Server::Serve() {
       break;
     }
     consecutive_accept_failures = 0;
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     const size_t slot = session_fds_.size();
     session_fds_.push_back(conn->get());
     sessions_.emplace_back(&Server::RunSession, this, std::move(*conn), slot);
@@ -403,7 +409,7 @@ Status Server::Serve() {
 void Server::JoinSessions() {
   std::vector<std::thread> to_join;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     to_join.swap(sessions_);
     // Wake sessions blocked in recv so they observe the hangup and exit.
     for (const int fd : session_fds_) {
@@ -415,9 +421,9 @@ void Server::JoinSessions() {
 
 void Server::RunSession(UniqueFd fd, size_t slot) {
   if (idle_timeout_ms_ > 0) {
-    // Best-effort: a session we cannot arm still gets served, it just
-    // never idles out.
-    SetRecvTimeout(fd, idle_timeout_ms_);
+    // (void): best-effort by design — a session we cannot arm still gets
+    // served, it just never idles out.
+    (void)SetRecvTimeout(fd, idle_timeout_ms_);
   }
   LineReader reader(fd);
   std::string line;
@@ -434,7 +440,7 @@ void Server::RunSession(UniqueFd fd, size_t slot) {
   }
   // Deregister before the fd closes so JoinSessions can never shut down a
   // reused descriptor.
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   session_fds_[slot] = -1;
 }
 

@@ -22,7 +22,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -36,6 +35,7 @@
 #include "serve/result_cache.h"
 #include "util/socket.h"
 #include "util/status.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 
 namespace pincer {
@@ -99,17 +99,24 @@ class MiningService {
   };
 
   ResidentDatabase* FindDatabase(std::string_view name);
-  std::string HandleMine(const Request& request);
-  std::string HandleList(const Request& request);
+  std::string HandleMine(const Request& request) PINCER_EXCLUDES(mining_mu_);
+  std::string HandleList(const Request& request) PINCER_EXCLUDES(cache_mu_);
 
+  // options_, pool_, and databases_ are written only by Init(), which the
+  // contract requires to complete before the first HandleLine; after that
+  // they are read-only (the resident dbs and pool are MUTATED only while
+  // mining, under mining_mu_). The LRU cache, by contrast, is restructured
+  // by every lookup, so both the pointer and the pointee are guarded.
   ServerOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<ResidentDatabase>> databases_;
-  std::unique_ptr<ResultCache> cache_;
-  std::mutex cache_mu_;
   /// Serializes actual mining (shared pool + resident counters are
-  /// single-owner). Cache lookups do not take it.
-  std::mutex mining_mu_;
+  /// single-owner). Cache lookups do not take it. Lock order: mining_mu_
+  /// before cache_mu_ (HandleMine re-checks and inserts while mining).
+  Mutex mining_mu_;
+  Mutex cache_mu_ PINCER_ACQUIRED_AFTER(mining_mu_);
+  std::unique_ptr<ResultCache> cache_ PINCER_GUARDED_BY(cache_mu_)
+      PINCER_PT_GUARDED_BY(cache_mu_);
   std::atomic<bool> shutdown_{false};
 };
 
@@ -146,22 +153,25 @@ class Server {
   void Shutdown();
 
  private:
-  void RunSession(UniqueFd fd, size_t slot);
+  void RunSession(UniqueFd fd, size_t slot) PINCER_EXCLUDES(sessions_mu_);
   /// Wakes and joins every session thread (idempotent).
-  void JoinSessions();
+  void JoinSessions() PINCER_EXCLUDES(sessions_mu_);
 
   MiningService& service_;
+  // listener_, port_, and idle_timeout_ms_ are configured before Serve()
+  // and immutable while serving (Shutdown() only shutdown(2)s the fd, it
+  // never reassigns it), so they carry no lock.
   UniqueFd listener_;
   uint16_t port_ = 0;
   double idle_timeout_ms_ = 0;
   std::atomic<bool> stopping_{false};
 
-  std::mutex sessions_mu_;
-  std::vector<std::thread> sessions_;
+  Mutex sessions_mu_;
+  std::vector<std::thread> sessions_ PINCER_GUARDED_BY(sessions_mu_);
   /// Raw fds of live sessions, indexed by slot; -1 once a session has
   /// deregistered (before closing, so no entry ever names a reused fd).
   /// Serve()'s shutdown path shuts them down so blocked reads wake up.
-  std::vector<int> session_fds_;
+  std::vector<int> session_fds_ PINCER_GUARDED_BY(sessions_mu_);
 };
 
 }  // namespace pincer

@@ -2,11 +2,11 @@
 
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/prng.h"
+#include "util/sync.h"
 
 namespace pincer {
 namespace failpoint {
@@ -24,67 +24,69 @@ struct Point {
   Prng prng{0};
 };
 
-// Registry state behind one mutex. Hit() only reaches here when at least
-// one point is armed, so the lock is never taken in production runs.
-std::mutex& RegistryMutex() {
-  static std::mutex* mutex = new std::mutex;
-  return *mutex;
-}
+// Registry state behind one mutex, bundled so the points map can carry a
+// PINCER_GUARDED_BY referring to its sibling lock. Hit() only reaches here
+// when at least one point is armed, so the lock is never taken in
+// production runs.
+struct RegistryState {
+  Mutex mu;
+  std::map<std::string, Point, std::less<>> points PINCER_GUARDED_BY(mu);
+};
 
-std::map<std::string, Point, std::less<>>& Registry() {
-  static auto* registry = new std::map<std::string, Point, std::less<>>;
-  return *registry;
+RegistryState& Registry() {
+  static auto* state = new RegistryState;
+  return *state;
 }
 
 }  // namespace
 
 void Arm(std::string_view name, const Config& config) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  auto& registry = Registry();
-  auto it = registry.find(name);
-  if (it == registry.end()) {
-    it = registry.emplace(std::string(name), Point{}).first;
+  RegistryState& state = Registry();
+  MutexLock lock(state.mu);
+  auto it = state.points.find(name);
+  if (it == state.points.end()) {
+    it = state.points.emplace(std::string(name), Point{}).first;
     internal::g_armed_count.fetch_add(1, std::memory_order_relaxed);
   }
   it->second = Point{config, 0, 0, Prng(config.trigger.seed)};
 }
 
 void Disarm(std::string_view name) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  auto& registry = Registry();
-  auto it = registry.find(name);
-  if (it == registry.end()) return;
-  registry.erase(it);
+  RegistryState& state = Registry();
+  MutexLock lock(state.mu);
+  auto it = state.points.find(name);
+  if (it == state.points.end()) return;
+  state.points.erase(it);
   internal::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void DisarmAll() {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  auto& registry = Registry();
-  internal::g_armed_count.fetch_sub(registry.size(),
+  RegistryState& state = Registry();
+  MutexLock lock(state.mu);
+  internal::g_armed_count.fetch_sub(state.points.size(),
                                     std::memory_order_relaxed);
-  registry.clear();
+  state.points.clear();
 }
 
 uint64_t FireCount(std::string_view name) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  const auto& registry = Registry();
-  const auto it = registry.find(name);
-  return it == registry.end() ? 0 : it->second.fires;
+  RegistryState& state = Registry();
+  MutexLock lock(state.mu);
+  const auto it = state.points.find(name);
+  return it == state.points.end() ? 0 : it->second.fires;
 }
 
 uint64_t HitCount(std::string_view name) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  const auto& registry = Registry();
-  const auto it = registry.find(name);
-  return it == registry.end() ? 0 : it->second.hits;
+  RegistryState& state = Registry();
+  MutexLock lock(state.mu);
+  const auto it = state.points.find(name);
+  return it == state.points.end() ? 0 : it->second.hits;
 }
 
 HitResult Hit(std::string_view name) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
-  auto& registry = Registry();
-  const auto it = registry.find(name);
-  if (it == registry.end()) return HitResult{};
+  RegistryState& state = Registry();
+  MutexLock lock(state.mu);
+  const auto it = state.points.find(name);
+  if (it == state.points.end()) return HitResult{};
   Point& point = it->second;
   ++point.hits;
   bool fire = false;
@@ -230,6 +232,8 @@ Status ArmFromSpec(std::string_view spec) {
 }
 
 Status ArmFromEnv() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at process startup
+  // (test main / daemon init) before any worker thread exists.
   const char* spec = std::getenv("PINCER_FAILPOINTS");
   if (spec == nullptr || spec[0] == '\0') return Status::OK();
   return ArmFromSpec(spec);

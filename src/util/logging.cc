@@ -3,11 +3,23 @@
 #include <atomic>
 #include <cstdio>
 
+#include "util/sync.h"
+
 namespace pincer {
 
 namespace {
 
 std::atomic<LogLevel> g_log_level{LogLevel::kOff};
+
+// Serializes line emission so logs from pool workers and daemon session
+// threads never interleave mid-line. There is no guarded data — the
+// capability protects the stderr stream itself for the duration of one
+// formatted write. Leaked intentionally: loggers may run during static
+// destruction.
+Mutex& EmitMutex() {
+  static Mutex* mu = new Mutex;
+  return *mu;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -34,6 +46,7 @@ LogLevel GetLogLevel() { return g_log_level.load(); }
 namespace internal {
 
 void LogLine(LogLevel level, const std::string& message) {
+  MutexLock lock(EmitMutex());
   std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
 }
 

@@ -32,7 +32,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// Result of an operation that can fail: a code plus an optional message.
 /// Cheap to copy in the OK case (empty message). Statuses are values; there
 /// is no error-state latching and no exceptions anywhere in the library.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status is how I/O errors turn into
+/// wrong answers, so discarding one is a compile error (-Werror). The rare
+/// genuinely best-effort call sites cast to void with a justification
+/// comment on the same line (greppable: `(void)`).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

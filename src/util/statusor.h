@@ -13,8 +13,10 @@ namespace pincer {
 
 /// Holds either a T or a non-OK Status. Accessing the value of an error
 /// StatusOr is a programming error (asserted in debug builds).
+/// [[nodiscard]] for the same reason Status is: a dropped StatusOr is a
+/// dropped error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from an error status. `status` must not be OK.
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit

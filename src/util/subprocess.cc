@@ -15,6 +15,8 @@ namespace pincer {
 namespace {
 
 Status Errno(std::string_view what) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): glibc strerror uses a
+  // thread-local buffer and the text is copied into the Status immediately.
   return Status::IoError(std::string(what) + ": " + std::strerror(errno));
 }
 

@@ -1,0 +1,179 @@
+// Annotated synchronization primitives: the only place in the library that
+// touches std::mutex / std::condition_variable directly (enforced by the
+// scripts/lint.py `raw-mutex` rule). Everything else uses these wrappers,
+// which carry Clang Thread Safety Analysis capability attributes, so lock
+// protocols — which mutex guards which field, which functions require or
+// exclude which lock — are stated in the type system and checked at compile
+// time by the `thread-safety` CI job (-Wthread-safety -Wthread-safety-beta
+// -Werror). Under GCC (and any compiler without the attributes) every macro
+// expands to nothing and the wrappers compile to the plain std primitives
+// with zero overhead.
+//
+// Vocabulary (see docs/static_analysis.md#thread-safety-analysis for the
+// full guide and the repo's lock-ordering table):
+//
+//   PINCER_GUARDED_BY(mu)     field may only be read/written with mu held
+//   PINCER_PT_GUARDED_BY(mu)  pointer field: the *pointee* needs mu held
+//   PINCER_REQUIRES(mu)       function must be called with mu already held
+//   PINCER_ACQUIRE(mu)        function acquires mu and returns holding it
+//   PINCER_RELEASE(mu)        function releases mu
+//   PINCER_EXCLUDES(mu)       function must NOT be called with mu held
+//                             (deadlock guard for self-locking functions)
+//   PINCER_ACQUIRED_AFTER(m)  lock-ordering declaration, checked by the
+//                             -beta analysis
+//   PINCER_NO_THREAD_SAFETY_ANALYSIS
+//                             opts one function body out of the analysis.
+//                             Every use MUST carry a justification comment
+//                             and is inventoried in docs/static_analysis.md.
+
+#ifndef PINCER_UTIL_SYNC_H_
+#define PINCER_UTIL_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute macros. Clang-only: GCC parses but ignores most of these and
+// warns on the rest, so they vanish entirely elsewhere.
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define PINCER_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define PINCER_THREAD_ANNOTATION_ATTRIBUTE_(x)
+#endif
+
+/// Marks a type as a capability (a lock) the analysis tracks.
+#define PINCER_CAPABILITY(x) \
+  PINCER_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define PINCER_SCOPED_CAPABILITY \
+  PINCER_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// The workhorse: data member readable/writable only with the lock held.
+#define PINCER_GUARDED_BY(x) \
+  PINCER_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// For pointer members: the pointed-to data (not the pointer) is guarded.
+#define PINCER_PT_GUARDED_BY(x) \
+  PINCER_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// Caller must hold the capability (exclusively) across the call.
+#define PINCER_REQUIRES(...) \
+  PINCER_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it before return.
+#define PINCER_ACQUIRE(...) \
+  PINCER_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/// Function conditionally acquires: first argument is the success value.
+#define PINCER_TRY_ACQUIRE(...) \
+  PINCER_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (which the caller must hold).
+#define PINCER_RELEASE(...) \
+  PINCER_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (the function takes it itself).
+#define PINCER_EXCLUDES(...) \
+  PINCER_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations, enforced under -Wthread-safety-beta.
+#define PINCER_ACQUIRED_AFTER(...) \
+  PINCER_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+#define PINCER_ACQUIRED_BEFORE(...) \
+  PINCER_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define PINCER_RETURN_CAPABILITY(x) \
+  PINCER_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed. Use ONLY with a
+/// justification comment; every use is listed in docs/static_analysis.md.
+#define PINCER_NO_THREAD_SAFETY_ANALYSIS \
+  PINCER_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+namespace pincer {
+
+/// Annotated exclusive mutex. A thin wrapper over std::mutex whose methods
+/// carry acquire/release capability attributes, making "which lock guards
+/// what" checkable: declare fields with PINCER_GUARDED_BY(mu_) and the
+/// compiler rejects any unlocked access.
+class PINCER_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PINCER_ACQUIRE() { mu_.lock(); }
+  void Unlock() PINCER_RELEASE() { mu_.unlock(); }
+  bool TryLock() PINCER_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock for a Mutex — the only way library code should hold one.
+/// Scoped-capability annotated: the analysis knows the lock is held from
+/// construction to end of scope.
+class PINCER_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PINCER_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() PINCER_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait() must be called with the
+/// mutex held (enforced by PINCER_REQUIRES); it atomically releases while
+/// blocked and reacquires before returning, like std::condition_variable.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified. Spurious wakeups possible — use the predicate
+  /// overload or an explicit `while` re-checking the guarded condition.
+  void Wait(Mutex& mu) PINCER_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the wait, then release() so
+    // the unique_lock destructor does not unlock what the caller still
+    // owns. The analysis sees a REQUIRES function that neither acquires
+    // nor releases, which is exactly the caller-visible contract.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Blocks until `pred()` is true, re-checking after every wakeup. The
+  /// predicate runs with the mutex held, so it may (and typically does)
+  /// read PINCER_GUARDED_BY fields — annotate the lambda itself with
+  /// PINCER_REQUIRES(mu) so those reads pass analysis.
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) PINCER_REQUIRES(mu)
+      PINCER_NO_THREAD_SAFETY_ANALYSIS {
+    // NO_THREAD_SAFETY_ANALYSIS justification: the analysis cannot relate
+    // the predicate's own capability expression (e.g. `this->mu_` captured
+    // in a caller's lambda) to the `mu` parameter through the template
+    // call, so checking this body yields false positives. Call sites are
+    // still fully checked via the REQUIRES(mu) above, and the body only
+    // delegates to the analyzed single-argument Wait.
+    while (!pred()) Wait(mu);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace pincer
+
+#endif  // PINCER_UTIL_SYNC_H_

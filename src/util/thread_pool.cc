@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/contracts.h"
+#include "util/sync.h"
 
 namespace pincer {
 
@@ -21,10 +22,10 @@ ThreadPool::ThreadPool(size_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -32,8 +33,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) return;  // stop_ set and nothing left to drain
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -58,32 +59,46 @@ void ThreadPool::RunBatch(size_t num_tasks,
   }
 
   // Completion state lives on the caller's stack: RunBatch does not return
-  // until every job ran, so the references the jobs hold stay valid.
+  // until every job ran, so the references the jobs hold stay valid. The
+  // guarded counter is only touched through the annotated methods, keeping
+  // every access inside a scope the analysis can see.
   struct BatchState {
-    std::mutex mu;
-    std::condition_variable done_cv;
-    size_t pending;
+    Mutex mu;
+    CondVar done_cv;
+    size_t pending PINCER_GUARDED_BY(mu) = 0;
+
+    void SetPending(size_t n) PINCER_EXCLUDES(mu) {
+      MutexLock lock(mu);
+      pending = n;
+    }
+    void FinishOne() PINCER_EXCLUDES(mu) {
+      MutexLock lock(mu);
+      if (--pending == 0) done_cv.NotifyOne();
+    }
+    void WaitAllDone() PINCER_EXCLUDES(mu) {
+      MutexLock lock(mu);
+      while (pending != 0) done_cv.Wait(mu);
+    }
   } state;
-  state.pending = num_tasks;
+  state.SetPending(num_tasks);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t i = 0; i < num_tasks; ++i) {
       queue_.push_back([&task, &state, i] {
         task(i);
-        std::lock_guard<std::mutex> state_lock(state.mu);
-        if (--state.pending == 0) state.done_cv.notify_one();
+        state.FinishOne();
       });
     }
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   // The caller drains jobs too. The owner-thread contract guarantees the
   // queue holds only this batch, so nothing foreign is executed here.
   while (true) {
     std::function<void()> job;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (queue_.empty()) break;
       job = std::move(queue_.front());
       queue_.pop_front();
@@ -91,8 +106,7 @@ void ThreadPool::RunBatch(size_t num_tasks,
     job();
   }
 
-  std::unique_lock<std::mutex> lock(state.mu);
-  state.done_cv.wait(lock, [&state] { return state.pending == 0; });
+  state.WaitAllDone();
   in_batch_ = false;
 }
 

@@ -8,13 +8,13 @@
 #ifndef PINCER_UTIL_THREAD_POOL_H_
 #define PINCER_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace pincer {
 
@@ -47,22 +47,27 @@ class ThreadPool {
 
   /// Runs task(i) for every i in [0, num_tasks) across the pool and the
   /// calling thread; returns once all invocations finished. Each index runs
-  /// exactly once. Tasks must not call back into the pool.
-  void RunBatch(size_t num_tasks, const std::function<void(size_t)>& task);
+  /// exactly once. Tasks must not call back into the pool. Never called
+  /// with mu_ held (it locks mu_ itself to enqueue).
+  void RunBatch(size_t num_tasks, const std::function<void(size_t)>& task)
+      PINCER_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() PINCER_EXCLUDES(mu_);
 
   size_t num_threads_;
   // True while a batch is draining; guards the single-owner / no-reentrancy
-  // contract (only the owner thread writes it, and only outside workers).
+  // contract. Deliberately NOT mutex-guarded: only the single owner thread
+  // reads and writes it, and only outside worker jobs, so a lock would
+  // state a false sharing contract (the thread-safety analysis agrees — an
+  // unannotated field is owner-local by definition).
   bool in_batch_ = false;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  std::deque<std::function<void()>> queue_ PINCER_GUARDED_BY(mu_);
+  bool stop_ PINCER_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace pincer

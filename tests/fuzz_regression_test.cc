@@ -67,7 +67,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(HarnessCase{"database_io", &fuzz::FuzzDatabaseIo},
                       HarnessCase{"json_reader", &fuzz::FuzzJsonReader},
                       HarnessCase{"checkpoint", &fuzz::FuzzCheckpoint},
-                      HarnessCase{"failpoint_spec", &fuzz::FuzzFailpointSpec}),
+                      HarnessCase{"failpoint_spec", &fuzz::FuzzFailpointSpec},
+                      HarnessCase{"serve_request", &fuzz::FuzzServeRequest},
+                      HarnessCase{"shard_result", &fuzz::FuzzShardResult}),
     [](const ::testing::TestParamInfo<HarnessCase>& info) {
       return std::string(info.param.name);
     });

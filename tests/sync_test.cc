@@ -1,0 +1,178 @@
+// Contract tests for the annotated synchronization wrappers (util/sync.h):
+// MutexLock is strictly RAII, CondVar's predicate Wait handles spurious
+// wakeups and notify-before-wait, and the wrappers are correct under real
+// contention (1/2/8 threads — run under the TSan configuration these are
+// the lock-protocol smoke for the whole sync layer).
+
+#include "util/sync.h"
+
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace pincer {
+namespace {
+
+TEST(MutexTest, LockUnlockRoundTrip) {
+  Mutex mu;
+  mu.Lock();
+  mu.Unlock();
+  mu.Lock();
+  mu.Unlock();
+}
+
+TEST(MutexTest, TryLockReportsContention) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  // Non-recursive: a second TryLock from another thread must fail while
+  // held. (Same-thread re-TryLock is UB for std::mutex, so probe from a
+  // helper thread.)
+  bool second = true;
+  std::thread prober([&] { second = mu.TryLock(); });
+  prober.join();
+  EXPECT_FALSE(second);
+  mu.Unlock();
+  std::thread reprober([&] {
+    ASSERT_TRUE(mu.TryLock());
+    mu.Unlock();
+  });
+  reprober.join();
+}
+
+TEST(MutexLockTest, ReleasesOnScopeExit) {
+  Mutex mu;
+  {
+    MutexLock lock(mu);
+  }
+  // If the destructor failed to release, this would deadlock (and the test
+  // would time out) — acquiring again is the assertion.
+  {
+    MutexLock lock(mu);
+  }
+}
+
+TEST(MutexLockTest, ExcludesConcurrentHolder) {
+  Mutex mu;
+  int counter = 0;  // guarded by mu, asserted via the final sum
+  constexpr int kIncrementsPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter, 4 * kIncrementsPerThread);
+}
+
+TEST(CondVarTest, PredicateWaitSeesNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::thread notifier([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(mu);
+    cv.Wait(mu, [&] { return ready; });
+    EXPECT_TRUE(ready);
+  }
+  notifier.join();
+}
+
+TEST(CondVarTest, PredicateAlreadyTrueReturnsWithoutBlocking) {
+  // notify-before-wait: the predicate overload must check before sleeping,
+  // or a wakeup that raced ahead of the waiter would hang it forever.
+  Mutex mu;
+  CondVar cv;
+  bool ready = true;
+  MutexLock lock(mu);
+  cv.Wait(mu, [&] { return ready; });
+}
+
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int awake = 0;
+  constexpr int kWaiters = 8;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      MutexLock lock(mu);
+      cv.Wait(mu, [&] { return go; });
+      ++awake;
+    });
+  }
+  {
+    MutexLock lock(mu);
+    go = true;
+    cv.NotifyAll();
+  }
+  for (std::thread& waiter : waiters) waiter.join();
+  EXPECT_EQ(awake, kWaiters);
+}
+
+// Producer/consumer smoke across thread counts: the canonical guarded-queue
+// shape every subsystem on sync.h uses (thread pool, serve daemon). Under
+// the TSan build this sweeps the full Mutex/CondVar happens-before surface.
+class SyncSmokeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SyncSmokeTest, ProducerConsumerDrainsExactly) {
+  const int num_consumers = GetParam();
+  constexpr int kItems = 2000;
+
+  Mutex mu;
+  CondVar cv;
+  int next = 0;          // guarded by mu: items handed out so far
+  bool done = false;     // guarded by mu: producer finished
+  int consumed = 0;      // guarded by mu: items taken by consumers
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(static_cast<size_t>(num_consumers));
+  for (int t = 0; t < num_consumers; ++t) {
+    consumers.emplace_back([&] {
+      while (true) {
+        MutexLock lock(mu);
+        cv.Wait(mu, [&] { return next > consumed || done; });
+        if (next > consumed) {
+          ++consumed;
+        } else if (done) {
+          return;
+        }
+      }
+    });
+  }
+
+  for (int i = 0; i < kItems; ++i) {
+    MutexLock lock(mu);
+    ++next;
+    cv.NotifyOne();
+  }
+  {
+    MutexLock lock(mu);
+    done = true;
+    cv.NotifyAll();
+  }
+  for (std::thread& consumer : consumers) consumer.join();
+
+  MutexLock lock(mu);
+  EXPECT_EQ(consumed, kItems);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, SyncSmokeTest,
+                         ::testing::Values(1, 2, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::to_string(info.param) + "threads";
+                         });
+
+}  // namespace
+}  // namespace pincer
